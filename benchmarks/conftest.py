@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every table and figure of the paper at a miniature
+scale (Table II's full datasets are ~130k/77k nodes; the profiled
+generators reproduce their structure at ``BENCH_SCALE``). Each benchmark
+prints the same rows/series the paper reports — run with ``-s`` to see
+them — and persists JSON into ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: Fraction of the full dataset size used by the benches.
+BENCH_SCALE = 0.005
+
+#: Master seed for all benchmark workloads.
+BENCH_SEED = 7
+
+#: Where benchmark artefacts (JSON payloads) are written.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Ensure and return the benchmark-results directory."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,38 @@
+"""Benchmark X1 — ablation: the asymmetric boosting coefficient α.
+
+The paper fixes α = 3 in its experiments; this ablation quantifies what
+the boost buys: cascade reach grows with α (positive links saturate),
+and flip activity appears only when boosted links can overcome earlier
+activations.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.experiments import ablations
+from repro.experiments.reporting import save_json
+
+ALPHAS = (1.0, 2.0, 3.0, 5.0)
+
+
+def test_alpha_sensitivity(benchmark, results_dir):
+    points = benchmark.pedantic(
+        lambda: ablations.run_alpha_sweep(
+            alphas=ALPHAS, scale=BENCH_SCALE, trials=3, seed=BENCH_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ablations.render_alpha_sweep(points))
+    save_json(
+        [
+            {"alpha": p.alpha, **p.spread.__dict__}
+            for p in points
+        ],
+        results_dir / "ablation_alpha.json",
+    )
+
+    spreads = [p.spread.mean_infected for p in points]
+    # Boosting only helps: spread is non-decreasing in alpha.
+    assert all(b >= a - 1e-9 for a, b in zip(spreads, spreads[1:]))
+    # The paper's alpha = 3 reaches strictly more than the unboosted model.
+    assert spreads[2] > spreads[0]

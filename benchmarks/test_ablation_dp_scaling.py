@@ -1,0 +1,32 @@
+"""Benchmark X3 — ablation: binarisation overhead and DP scaling.
+
+Measures the cost of the general-tree -> binary-tree transform and of
+the k-ISOMIT-BT dynamic program as cascade-tree size grows, verifying
+the polynomial behaviour the paper asserts for the tree special case.
+"""
+
+from benchmarks.conftest import BENCH_SEED
+from repro.experiments import ablations
+from repro.experiments.reporting import save_json
+
+SIZES = (10, 50, 100, 200)
+
+
+def test_dp_scaling(benchmark, results_dir):
+    points = benchmark.pedantic(
+        lambda: ablations.run_dp_scaling(sizes=SIZES, k=3, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ablations.render_dp_scaling(points))
+    save_json([p.__dict__ for p in points], results_dir / "ablation_dp_scaling.json")
+
+    for point in points:
+        # Binarisation adds at most one dummy per real node for fan-outs
+        # up to the generator's max_children = 5 (ceil(log2 5) = 3 levels
+        # but shared across siblings).
+        assert point.binary_size <= 2 * point.tree_size
+        assert point.k_solved >= 1
+    # Cost grows with size but stays practical at bench scale.
+    assert points[-1].solve_seconds < 30.0

@@ -1,0 +1,57 @@
+"""Benchmarks X9/X10 — oracle-k and θ-sensitivity sweeps.
+
+X9 tests the value of knowing the true initiator count: RID's
+``detect_with_budget(k = N)`` is forced to report exactly N initiators,
+while β-mode picks its own count. The measured result (recorded in
+EXPERIMENTS.md) is that the oracle count does *not* beat β-mode F1 —
+the bottleneck is identifiability (which nodes can be distinguished
+from organically infected ones), not model selection.
+
+X10 sweeps the positive ratio θ the paper fixes at 0.5: mixed opinions
+maximise contradictory encounters, hence flips; uniform opinion pools
+(θ = 0 or 1) produce almost none.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.experiments import sweeps
+from repro.experiments.reporting import save_json
+
+THETAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_oracle_k_vs_beta(benchmark, results_dir):
+    comparisons = benchmark.pedantic(
+        lambda: sweeps.run_oracle_k_ablation(scale=BENCH_SCALE, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(sweeps.render_oracle_k(comparisons))
+    save_json([c.__dict__ for c in comparisons], results_dir / "ablation_oracle_k.json")
+
+    beta_mode, oracle = comparisons
+    # The oracle mode reports exactly its budget.
+    assert oracle.num_detected >= beta_mode.num_detected
+    # Recall can only improve with more detections; precision pays.
+    assert oracle.recall >= beta_mode.recall - 1e-9
+    assert oracle.precision <= beta_mode.precision + 1e-9
+
+
+def test_theta_sensitivity(benchmark, results_dir):
+    points = benchmark.pedantic(
+        lambda: sweeps.run_theta_sweep(
+            thetas=THETAS, scale=BENCH_SCALE, seed=BENCH_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(sweeps.render_sweep("theta", points))
+    save_json([p.__dict__ for p in points], results_dir / "ablation_theta.json")
+
+    by_theta = {p.value: p for p in points}
+    # Mixed opinions maximise flips; uniform pools minimise them.
+    assert by_theta[0.5].flips >= by_theta[0.0].flips
+    assert by_theta[0.5].flips >= by_theta[1.0].flips
+    # Detection runs at every theta.
+    assert all(p.num_detected >= 1 for p in points)

@@ -1,0 +1,52 @@
+"""Benchmark F2 — Figure 2's MFC-vs-IC behavioural contrast.
+
+Paper narrative: in the *simultaneous* case the trusted neighbour's
+boosted link makes A far more likely to take E's state under MFC than
+under IC; in the *sequential* case MFC lets the trusted late-arriving H
+flip G while IC cannot re-activate at all.
+"""
+
+from benchmarks.conftest import BENCH_SEED
+from repro.experiments import fig2
+from repro.experiments.reporting import format_paper_vs_measured, save_json
+
+
+def test_fig2_mfc_vs_ic_contrast(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig2.run(alpha=3.0, trials=1500, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_paper_vs_measured(
+            "simultaneous P(A takes trusted state) MFC",
+            "boosted min(1, 3w) = 0.9",
+            result.simultaneous_mfc_positive,
+        )
+    )
+    print(
+        format_paper_vs_measured(
+            "simultaneous P(A takes trusted state) IC",
+            "w * (1-w)^3 ~= 0.10",
+            result.simultaneous_ic_positive,
+        )
+    )
+    print(
+        format_paper_vs_measured(
+            "sequential P(G flipped) MFC", "~1.0", result.sequential_mfc_flipped
+        )
+    )
+    print(
+        format_paper_vs_measured(
+            "sequential P(G flipped) IC", "0 (structurally)", result.sequential_ic_flipped
+        )
+    )
+    save_json(result.__dict__, results_dir / "fig2.json")
+
+    # Shape: MFC's trusted activation dominates IC's by a large factor,
+    # and flipping exists only under MFC.
+    assert result.simultaneous_mfc_positive > 3 * result.simultaneous_ic_positive
+    assert abs(result.simultaneous_mfc_positive - 0.9) < 0.05
+    assert result.sequential_mfc_flipped > 0.95
+    assert result.sequential_ic_flipped == 0.0

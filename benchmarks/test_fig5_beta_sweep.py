@@ -1,0 +1,49 @@
+"""Benchmark F5 — Figure 5: β sensitivity of detection.
+
+Paper shape (Sec. IV-D): as β grows the number of detected initiators
+falls, precision rises at the expense of recall, and F1 increases.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.experiments import fig5
+from repro.experiments.reporting import save_json
+
+BETAS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _weakly_monotone(values, decreasing=True, slack=0.0):
+    """Endpoint-anchored monotonicity with per-step slack for noise."""
+    if decreasing:
+        return values[0] >= values[-1] and all(
+            b <= a + slack for a, b in zip(values, values[1:])
+        )
+    return values[-1] >= values[0] and all(
+        b >= a - slack for a, b in zip(values, values[1:])
+    )
+
+
+def test_fig5_beta_sensitivity(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig5.run(scale=BENCH_SCALE, trials=2, seed=BENCH_SEED, betas=BETAS),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig5.render(result))
+    save_json(
+        {
+            dataset: [agg.__dict__ for agg in series]
+            for dataset, series in result.per_network.items()
+        },
+        results_dir / "fig5.json",
+    )
+
+    for dataset, series in result.per_network.items():
+        detected = [agg.num_detected for agg in series]
+        precision = [agg.precision for agg in series]
+        f1 = [agg.f1 for agg in series]
+        assert _weakly_monotone(detected, decreasing=True, slack=2.0), (
+            f"{dataset}: detected counts {detected}"
+        )
+        assert precision[-1] >= precision[0], f"{dataset}: precision {precision}"
+        assert f1[-1] >= f1[0], f"{dataset}: F1 {f1}"

@@ -1,0 +1,42 @@
+"""Benchmark F6 — Figure 6: β sensitivity of initial-state inference.
+
+Paper shape (Sec. IV-D1): over the correctly identified initiators, the
+state-inference accuracy increases with β (approaching 100% near
+β = 1.0), MAE decreases, and R² is positive at high β.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.experiments import fig6
+from repro.experiments.reporting import save_json
+
+BETAS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_fig6_state_inference(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig6.run(scale=BENCH_SCALE, trials=2, seed=BENCH_SEED, betas=BETAS),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig6.render(result))
+    save_json(
+        {
+            dataset: [
+                {"beta": beta, "accuracy": agg.accuracy, "mae": agg.mae, "r2": agg.r2}
+                for beta, agg in zip(result.betas, series)
+            ]
+            for dataset, series in result.per_network.items()
+        },
+        results_dir / "fig6.json",
+    )
+
+    for dataset, series in result.per_network.items():
+        accuracy = [agg.accuracy for agg in series]
+        mae = [agg.mae for agg in series]
+        # Shape: high-beta accuracy at least as good as low-beta, ending
+        # high; MAE mirrors accuracy downward (MAE = 2(1-acc) for +-1).
+        assert accuracy[-1] >= accuracy[0] - 0.05, f"{dataset}: accuracy {accuracy}"
+        assert accuracy[-1] >= 0.8, f"{dataset}: final accuracy {accuracy[-1]}"
+        assert mae[-1] <= mae[0] + 0.1, f"{dataset}: MAE {mae}"
+        assert mae[-1] <= 0.4, f"{dataset}: final MAE {mae[-1]}"

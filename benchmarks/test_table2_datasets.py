@@ -1,0 +1,34 @@
+"""Benchmark T2 — regenerate Table II (dataset properties).
+
+Paper values (full scale): Epinions 131,828 nodes / 841,372 directed
+links; Slashdot 77,350 / 516,575. The bench synthesises both profiled
+networks at ``BENCH_SCALE`` and checks the scale-adjusted counts and the
+positive-link mix.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.experiments import table2
+from repro.experiments.reporting import save_json
+
+
+def test_table2_dataset_properties(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: table2.run(scale=BENCH_SCALE, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table2.render(rows, BENCH_SCALE))
+    save_json([row.__dict__ for row in rows], results_dir / "table2.json")
+
+    by_name = {row.network: row for row in rows}
+    # Shape checks: node counts exact by construction, edge counts within
+    # 5%, Epinions more positive than Slashdot (as in the real datasets).
+    for row in rows:
+        assert row.measured_nodes == row.paper_nodes
+        assert abs(row.measured_links - row.paper_links) / row.paper_links < 0.05
+        assert row.link_type == "directed"
+    assert (
+        by_name["epinions"].positive_fraction_measured
+        > by_name["slashdot"].positive_fraction_measured
+    )

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Extending the library: plug in your own diffusion model.
+
+Implements a *Stubborn-Majority Cascade* — nodes adopt an opinion only
+when the sign-weighted majority of their already-infected in-neighbours
+agrees — by subclassing :class:`repro.diffusion.base.DiffusionModel`,
+then feeds its infected snapshots to the unchanged RID pipeline. This is
+the integration seam a downstream user would use to study detection
+under alternative diffusion assumptions.
+
+Run:  python examples/custom_model.py
+"""
+
+from typing import Dict
+
+from repro import RID, RIDConfig
+from repro.diffusion.base import (
+    ActivationEvent,
+    DiffusionModel,
+    DiffusionResult,
+    sorted_nodes,
+)
+from repro.diffusion.seeds import plant_random_initiators
+from repro.graphs.generators import generate_epinions_like
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.graphs.transforms import to_diffusion_network
+from repro.metrics.identity import identity_metrics
+from repro.types import Node, NodeState
+from repro.utils.rng import RandomSource
+from repro.weights.jaccard import assign_jaccard_weights
+
+SEED = 3
+
+
+class StubbornMajorityCascade(DiffusionModel):
+    """Adopt an opinion only on sign-weighted in-neighbour majority.
+
+    Each round, every inactive node tallies ``w * s(u) * sign(u, v)``
+    over its infected in-neighbours; if the absolute tally reaches
+    ``threshold`` the node adopts the majority opinion. Once adopted,
+    opinions never change (no flips — 'stubborn').
+    """
+
+    name = "stubborn-majority"
+
+    def __init__(self, threshold: float = 0.25, max_rounds: int = 100) -> None:
+        self.threshold = threshold
+        self.max_rounds = max_rounds
+
+    def run(
+        self,
+        diffusion: SignedDiGraph,
+        seeds: Dict[Node, NodeState],
+        rng: RandomSource = None,
+    ) -> DiffusionResult:
+        validated, random, states, events = self._prepare(diffusion, seeds, rng)
+        for round_index in range(1, self.max_rounds + 1):
+            adopted = []
+            for v in sorted_nodes(diffusion.nodes()):
+                if states.get(v, NodeState.INACTIVE).is_active:
+                    continue
+                tally = 0.0
+                strongest = None
+                strongest_pull = 0.0
+                for u, _, data in diffusion.in_edges(v):
+                    s_u = states.get(u, NodeState.INACTIVE)
+                    if s_u.is_active:
+                        pull = data.weight * int(s_u) * int(data.sign)
+                        tally += pull
+                        if abs(pull) > strongest_pull:
+                            strongest, strongest_pull = u, abs(pull)
+                if abs(tally) >= self.threshold:
+                    new_state = (
+                        NodeState.POSITIVE if tally > 0 else NodeState.NEGATIVE
+                    )
+                    adopted.append((v, new_state, strongest))
+            if not adopted:
+                return DiffusionResult(
+                    seeds=validated,
+                    final_states=states,
+                    events=events,
+                    rounds=round_index - 1,
+                )
+            for v, new_state, source in adopted:
+                states[v] = new_state
+                events.append(
+                    ActivationEvent(
+                        round=round_index, source=source, target=v, state=new_state
+                    )
+                )
+        return DiffusionResult(
+            seeds=validated, final_states=states, events=events, rounds=self.max_rounds
+        )
+
+
+def main() -> None:
+    social = generate_epinions_like(scale=0.004, rng=SEED)
+    diffusion = to_diffusion_network(social)
+    assign_jaccard_weights(diffusion, social, rng=SEED, gain=16.0)
+    seeds = plant_random_initiators(diffusion, count=15, rng=SEED)
+
+    model = StubbornMajorityCascade(threshold=0.25)
+    cascade = model.run(diffusion, seeds, rng=SEED)
+    infected = cascade.infected_network(diffusion)
+    print(
+        f"{model.name}: {infected.number_of_nodes()} infected in "
+        f"{cascade.rounds} rounds from {len(seeds)} seeds"
+    )
+
+    # The detection pipeline is model-agnostic: it only sees the snapshot.
+    result = RID(RIDConfig(beta=0.8)).detect(infected)
+    metrics = identity_metrics(result.initiators, set(seeds))
+    print(
+        f"RID on the custom model's snapshot: {len(result.initiators)} detected, "
+        f"precision={metrics.precision:.3f} recall={metrics.recall:.3f} "
+        f"F1={metrics.f1:.3f}"
+    )
+    print(
+        "note: RID's likelihood assumes MFC dynamics, so detection quality "
+        "under a different model quantifies the model-mismatch penalty."
+    )
+
+
+if __name__ == "__main__":
+    main()

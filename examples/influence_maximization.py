@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Influence maximization under MFC: the forward problem to ISOMIT.
+
+The paper positions rumor-initiator detection against influence
+maximization in signed networks (Table I). This example runs the
+forward direction on the same substrate: pick ``k`` campaign seeds to
+maximise either raw spread or the *polarity margin*
+(#agreeing − #disagreeing), and show how the signed structure makes the
+two objectives pick different seeds.
+
+Run:  python examples/influence_maximization.py
+"""
+
+from repro.diffusion.mfc import MFCModel
+from repro.diffusion.monte_carlo import estimate_spread
+from repro.experiments.reporting import format_table
+from repro.graphs.generators import generate_slashdot_like
+from repro.graphs.transforms import to_diffusion_network
+from repro.influence import (
+    greedy_influence_maximization,
+    margin_objective,
+    spread_objective,
+)
+from repro.types import NodeState
+from repro.weights.jaccard import assign_jaccard_weights
+
+SEED = 17
+BUDGET = 4
+
+
+def main() -> None:
+    social = generate_slashdot_like(scale=0.004, rng=SEED)
+    diffusion = to_diffusion_network(social)
+    # Full gain on negative links too: distrust edges matter for the
+    # margin objective, so this scenario keeps them influential.
+    assign_jaccard_weights(
+        diffusion, social, rng=SEED, gain=8.0, negative_gain_fraction=1.0
+    )
+    model = MFCModel(alpha=3.0)
+
+    # Shortlist: top out-degree nodes (the usual IM heuristic pool).
+    shortlist = sorted(
+        diffusion.nodes(), key=diffusion.out_degree, reverse=True
+    )[:25]
+    print(
+        f"network: {diffusion.number_of_nodes()} nodes; selecting "
+        f"{BUDGET} seeds from a {len(shortlist)}-candidate shortlist"
+    )
+
+    rows = []
+    for label, objective in (("spread", spread_objective), ("margin", margin_objective)):
+        result = greedy_influence_maximization(
+            diffusion,
+            model,
+            budget=BUDGET,
+            objective=objective,
+            trials=8,
+            candidates=shortlist,
+            base_seed=SEED,
+        )
+        seeds = {node: NodeState.POSITIVE for node in result.seeds}
+        outcome = estimate_spread(model, diffusion, seeds, trials=10, base_seed=SEED)
+        rows.append(
+            (
+                label,
+                ", ".join(str(s) for s in result.seeds),
+                result.objective_values[-1],
+                outcome.mean_infected,
+                outcome.mean_positive_fraction,
+                result.evaluations,
+            )
+        )
+
+    print()
+    print(
+        format_table(
+            headers=[
+                "objective",
+                "selected seeds",
+                "objective value",
+                "mean infected",
+                "positive frac",
+                "CELF evals",
+            ],
+            rows=rows,
+            title=f"Greedy (CELF) influence maximization under MFC, k={BUDGET}",
+        )
+    )
+    print(
+        "\nThe margin objective shifts seeds away from users whose audience "
+        "distrusts them: raw spread counts every adopter, the margin counts "
+        "disagreement against the campaign."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs in offline environments.
+
+All project metadata lives in ``pyproject.toml``; this file only exists
+so ``pip install -e .`` works where the ``wheel`` package is unavailable
+(PEP 660 editable builds require it with older setuptools).
+"""
+
+from setuptools import setup
+
+setup()

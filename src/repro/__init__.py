@@ -1,0 +1,90 @@
+"""repro — reproduction of *Rumor Initiator Detection in Infected Signed
+Networks* (Zhang, Aggarwal, Yu; ICDCS 2017).
+
+The package implements, from scratch:
+
+* a weighted signed directed graph substrate with node states
+  (:mod:`repro.graphs`);
+* the **MFC** (asyMmetric Flipping Cascade) diffusion model and the
+  classic baselines it is contrasted with (:mod:`repro.diffusion`);
+* the **RID** (Rumor Initiator Detector) framework — component
+  detection, Chu-Liu/Edmonds cascade-tree extraction, binarisation, the
+  k-ISOMIT-BT dynamic program and β-penalised model selection
+  (:mod:`repro.core`);
+* the Lemma 3.1 set-cover reduction (:mod:`repro.complexity`);
+* evaluation metrics, dataset-profiled synthetic generators, and an
+  experiment harness regenerating every table and figure
+  (:mod:`repro.metrics`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import (
+        MFCModel, RID, RIDConfig, generate_epinions_like,
+        to_diffusion_network, assign_jaccard_weights, plant_random_initiators,
+    )
+
+    social = generate_epinions_like(scale=0.01, rng=7)
+    diffusion = to_diffusion_network(social)
+    assign_jaccard_weights(diffusion, social, rng=7)
+    seeds = plant_random_initiators(diffusion, count=10, rng=7)
+    cascade = MFCModel(alpha=3.0).run(diffusion, seeds, rng=7)
+    infected = cascade.infected_network(diffusion)
+    detected = RID(RIDConfig(beta=0.1)).detect(infected)
+"""
+
+from repro.core.baselines import (
+    DetectionResult,
+    Detector,
+    RIDPositiveDetector,
+    RIDTreeDetector,
+)
+from repro.core.rid import RID, RIDConfig
+from repro.diffusion import (
+    DiffusionResult,
+    ICModel,
+    LTModel,
+    MFCModel,
+    PICModel,
+    SIRModel,
+    SignedVoterModel,
+    plant_random_initiators,
+)
+from repro.errors import ReproError
+from repro.graphs import SignedDiGraph, to_diffusion_network
+from repro.graphs.generators import (
+    generate_epinions_like,
+    generate_slashdot_like,
+)
+from repro.metrics import identity_metrics, state_metrics
+from repro.types import NodeState, Sign
+from repro.weights import assign_jaccard_weights
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SignedDiGraph",
+    "Sign",
+    "NodeState",
+    "ReproError",
+    "to_diffusion_network",
+    "assign_jaccard_weights",
+    "generate_epinions_like",
+    "generate_slashdot_like",
+    "MFCModel",
+    "ICModel",
+    "LTModel",
+    "SIRModel",
+    "SignedVoterModel",
+    "PICModel",
+    "DiffusionResult",
+    "plant_random_initiators",
+    "RID",
+    "RIDConfig",
+    "Detector",
+    "DetectionResult",
+    "RIDTreeDetector",
+    "RIDPositiveDetector",
+    "identity_metrics",
+    "state_metrics",
+    "__version__",
+]

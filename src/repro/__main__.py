@@ -1,0 +1,10 @@
+"""``python -m repro`` — alias for the experiments CLI.
+
+Keeps the package runnable even when the ``repro-experiments`` console
+script is not on PATH (e.g. ``python setup.py develop`` installs).
+"""
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""NP-hardness tooling for Lemma 3.1 (set cover ↔ ISOMIT).
+
+:mod:`~repro.complexity.set_cover` implements the set-cover problem with
+greedy and exact (branch-and-bound) solvers; :mod:`~repro.complexity.reduction`
+builds the ISOMIT gadget from a set-cover instance, solves the resulting
+minimum-certain-initiators problem exactly, and maps solutions back —
+demonstrating the equivalence the lemma proves.
+"""
+
+from repro.complexity.set_cover import (
+    SetCoverInstance,
+    exact_set_cover,
+    greedy_set_cover,
+)
+from repro.complexity.reduction import (
+    ReducedInstance,
+    certainty_closure,
+    isomit_solution_to_cover,
+    min_certain_initiators,
+    set_cover_to_isomit,
+)
+
+__all__ = [
+    "SetCoverInstance",
+    "greedy_set_cover",
+    "exact_set_cover",
+    "ReducedInstance",
+    "set_cover_to_isomit",
+    "certainty_closure",
+    "min_certain_initiators",
+    "isomit_solution_to_cover",
+]

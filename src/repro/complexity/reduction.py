@@ -1,0 +1,231 @@
+"""The Lemma 3.1 reduction: set cover → exact ISOMIT.
+
+The lemma shows that achieving ``P(G_I | I, S) = 1`` with the minimum
+number of initiators is NP-hard by encoding set cover into an infected
+signed network. This module builds that gadget, solves the resulting
+*minimum certain-initiators* problem exactly, and maps solutions back to
+set covers, so the equivalence can be executed and tested rather than
+merely asserted.
+
+Reproduction note (documented in DESIGN.md): the construction printed in
+the paper mixes social-link and diffusion-link orientations (its items
+(2)/(3) and their weight list disagree on edge directions), and taken
+literally none of the readings yields the claimed equivalence. We
+implement the repaired gadget that preserves the proof's intent, using a
+feature the paper's own problem setting provides — *unknown* node states:
+
+* one node per element, observed infected with state ``+1``;
+* one node per subset, state **unknown** (the '?' of Sec. I), so its
+  activation probability is not constrained;
+* a positive weight-1 diffusion link ``subset -> element`` for every
+  membership (weight 1 ⇒ certain activation under MFC);
+* optionally the paper's dummy node ``d`` with weight-``1/n`` links,
+  which — being uncertain — never affect the optimum and are kept only
+  for structural fidelity.
+
+Element nodes can then be certainly activated only by initiators chosen
+among the subset nodes covering them (or by wastefully selecting the
+element itself, which an exchange argument shows is never better), so
+the minimum number of initiators achieving probability-1 inference
+equals the optimal set-cover size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.complexity.set_cover import SetCoverInstance
+from repro.errors import ComplexityError, InfeasibleCoverError
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import Node, NodeState
+
+
+@dataclass
+class ReducedInstance:
+    """The ISOMIT gadget produced from a set-cover instance.
+
+    Attributes:
+        graph: the infected signed network (diffusion orientation);
+            element nodes observed ``+1``, subset nodes (and the dummy)
+            state-unknown.
+        element_nodes: element -> node label.
+        subset_nodes: subset index -> node label.
+        dummy_node: the optional dummy ``d`` (None when omitted).
+        instance: the originating set-cover instance.
+    """
+
+    graph: SignedDiGraph
+    element_nodes: Dict[object, Node]
+    subset_nodes: Dict[int, Node]
+    dummy_node: Optional[Node]
+    instance: SetCoverInstance
+
+    def observed_nodes(self) -> List[Node]:
+        """The nodes whose probability-1 activation is required."""
+        return sorted(self.element_nodes.values(), key=repr)
+
+    def candidate_initiators(self) -> List[Node]:
+        """Nodes eligible as initiators (subset and element nodes)."""
+        return sorted(
+            list(self.subset_nodes.values()) + list(self.element_nodes.values()),
+            key=repr,
+        )
+
+
+def set_cover_to_isomit(
+    instance: SetCoverInstance, include_dummy: bool = True
+) -> ReducedInstance:
+    """Build the ISOMIT gadget for a set-cover instance (Lemma 3.1)."""
+    graph = SignedDiGraph(name="lemma31-gadget")
+    element_nodes: Dict[object, Node] = {}
+    subset_nodes: Dict[int, Node] = {}
+
+    for element in sorted(instance.universe, key=repr):
+        node = ("element", element)
+        element_nodes[element] = node
+        graph.add_node(node, NodeState.POSITIVE)
+    for index, subset in enumerate(instance.subsets):
+        node = ("subset", index)
+        subset_nodes[index] = node
+        graph.add_node(node, NodeState.UNKNOWN)
+        for element in sorted(subset, key=repr):
+            # Membership link: certain (weight 1) positive diffusion edge.
+            graph.add_edge(node, element_nodes[element], 1, 1.0)
+
+    dummy: Optional[Node] = None
+    if include_dummy:
+        dummy = ("dummy",)
+        graph.add_node(dummy, NodeState.UNKNOWN)
+        n = max(1, len(instance.universe))
+        for element_node in element_nodes.values():
+            # The paper's 1/n links: uncertain, so they never contribute to
+            # probability-1 activation; retained for structural fidelity.
+            graph.add_edge(element_node, dummy, 1, 1.0 / n)
+        for subset_node in subset_nodes.values():
+            graph.add_edge(subset_node, dummy, 1, 1.0)
+
+    return ReducedInstance(
+        graph=graph,
+        element_nodes=element_nodes,
+        subset_nodes=subset_nodes,
+        dummy_node=dummy,
+        instance=instance,
+    )
+
+
+def certainty_closure(
+    graph: SignedDiGraph, initiators: Set[Node], alpha: float = 1.0
+) -> Set[Node]:
+    """Nodes certainly activated from ``initiators`` under MFC.
+
+    A node is certainly activated when it is an initiator or reachable
+    through links whose MFC attempt probability equals 1 (positive links
+    with ``α·w ≥ 1``; negative links with ``w = 1``).
+    """
+    certain = set(initiators)
+    frontier = list(initiators)
+    while frontier:
+        node = frontier.pop()
+        for _, target, data in graph.out_edges(node):
+            if target in certain:
+                continue
+            probability = (
+                min(1.0, alpha * data.weight) if int(data.sign) == 1 else data.weight
+            )
+            if probability >= 1.0:
+                certain.add(target)
+                frontier.append(target)
+    return certain
+
+
+def min_certain_initiators(
+    reduced: ReducedInstance, alpha: float = 1.0
+) -> Set[Node]:
+    """Exact minimum initiator set achieving probability-1 coverage.
+
+    Branch-and-bound over candidate initiators, mirroring the exact
+    set-cover solver: branch on the first uncovered observed node, trying
+    every candidate that certainly reaches it.
+
+    Raises:
+        ComplexityError: when no initiator set can cover the observations
+            (cannot happen for gadgets built from feasible instances).
+    """
+    observed = reduced.observed_nodes()
+    candidates = reduced.candidate_initiators()
+
+    # Precompute each candidate's certain reach over the observed nodes.
+    reach: Dict[Node, FrozenSet[Node]] = {}
+    for candidate in candidates:
+        closure = certainty_closure(reduced.graph, {candidate}, alpha)
+        reach[candidate] = frozenset(n for n in observed if n in closure)
+
+    coverers: Dict[Node, List[Node]] = {
+        node: [c for c in candidates if node in reach[c]] for node in observed
+    }
+    if any(not options for options in coverers.values()):
+        raise ComplexityError("some observed node cannot be certainly activated")
+
+    # Greedy incumbent for pruning.
+    uncovered = set(observed)
+    incumbent: List[Node] = []
+    while uncovered:
+        best = max(candidates, key=lambda c: (len(reach[c] & uncovered), repr(c)))
+        if not reach[best] & uncovered:
+            raise ComplexityError("greedy failed to make progress")
+        incumbent.append(best)
+        uncovered -= reach[best]
+    best_solution: List[Node] = list(incumbent)
+
+    def branch(uncovered: Set[Node], chosen: List[Node]) -> None:
+        nonlocal best_solution
+        if len(chosen) >= len(best_solution):
+            return
+        if not uncovered:
+            best_solution = list(chosen)
+            return
+        target = next(n for n in observed if n in uncovered)
+        for candidate in coverers[target]:
+            if candidate in chosen:
+                continue
+            chosen.append(candidate)
+            branch(uncovered - reach[candidate], chosen)
+            chosen.pop()
+
+    branch(set(observed), [])
+    return set(best_solution)
+
+
+def isomit_solution_to_cover(
+    reduced: ReducedInstance, initiators: Set[Node]
+) -> List[int]:
+    """Map an ISOMIT initiator set back to set-cover subset indices.
+
+    Element-node initiators are exchanged for an arbitrary subset
+    containing the element (such a subset exists in feasible instances);
+    the exchange never increases the solution size.
+
+    Raises:
+        InfeasibleCoverError: when an element initiator belongs to no
+            subset.
+    """
+    reverse_subset = {node: index for index, node in reduced.subset_nodes.items()}
+    reverse_element = {node: element for element, node in reduced.element_nodes.items()}
+    chosen: Set[int] = set()
+    for node in initiators:
+        if node in reverse_subset:
+            chosen.add(reverse_subset[node])
+        elif node in reverse_element:
+            element = reverse_element[node]
+            options = [
+                index
+                for index, subset in enumerate(reduced.instance.subsets)
+                if element in subset
+            ]
+            if not options:
+                raise InfeasibleCoverError(
+                    f"element {element!r} belongs to no subset"
+                )
+            chosen.add(options[0])
+    return sorted(chosen)

@@ -1,0 +1,63 @@
+"""The paper's primary contribution: the RID detection framework.
+
+Pipeline stages (Sec. III-E), each its own module:
+
+1. :mod:`~repro.core.components` — infected connected-component detection;
+2. :mod:`~repro.core.arborescence` — maximum-weight spanning graph
+   (Algorithm 2), circle contraction (Algorithm 3) and the full
+   Chu-Liu/Edmonds maximum spanning arborescence;
+3. :mod:`~repro.core.cascade_forest` — infected cascade-tree extraction
+   (Algorithm 4);
+4. :mod:`~repro.core.binarize` — general-tree -> binary-tree transform
+   with non-participating dummy nodes (Fig. 3);
+5. :mod:`~repro.core.tree_dp` — the ``OPT(u, I, S, k)`` dynamic program
+   for k-ISOMIT-BT (Sec. III-D);
+6. :mod:`~repro.core.rid` — β-penalised model selection tying it all
+   together (Sec. III-E3);
+7. :mod:`~repro.core.baselines` — the paper's comparison methods
+   RID-Tree and RID-Positive;
+8. :mod:`~repro.core.likelihood` — the MFC likelihood machinery
+   (Sec. III-B) shared by the DP and by exact brute-force solvers;
+9. :mod:`~repro.core.exact` — exhaustive ISOMIT solvers certifying the
+   pipeline on small instances;
+10. :mod:`~repro.core.imputation` — unknown-state ('?') masking and
+    MFC-rule completion.
+"""
+
+from repro.core.baselines import (
+    DetectionResult,
+    Detector,
+    RIDPositiveDetector,
+    RIDTreeDetector,
+)
+from repro.core.cascade_forest import extract_cascade_forest
+from repro.core.components import infected_components, weakly_connected_components
+from repro.core.exact import exact_isomit_additive, exact_isomit_likelihood
+from repro.core.imputation import impute_unknown_states, mask_states
+from repro.core.likelihood import (
+    g_link,
+    network_likelihood,
+    node_infection_probability,
+    path_probability,
+)
+from repro.core.rid import RID, RIDConfig
+
+__all__ = [
+    "RID",
+    "RIDConfig",
+    "Detector",
+    "DetectionResult",
+    "RIDTreeDetector",
+    "RIDPositiveDetector",
+    "extract_cascade_forest",
+    "infected_components",
+    "weakly_connected_components",
+    "g_link",
+    "path_probability",
+    "node_infection_probability",
+    "network_likelihood",
+    "exact_isomit_likelihood",
+    "exact_isomit_additive",
+    "mask_states",
+    "impute_unknown_states",
+]

@@ -1,0 +1,221 @@
+"""General-tree -> binary-tree transform with dummy nodes (Sec. III-E3, Fig. 3).
+
+The k-ISOMIT-BT dynamic program needs binary trees, but extracted cascade
+trees are general. Following the paper, a node with more than two
+children receives a balanced layer of **dummy nodes** (⌈log₂ d⌉ levels
+for d children) that fan its children out pairwise. Dummies:
+
+* do not participate in information diffusion — their incoming edge is
+  *transparent* (per-link factor ``g = 1``), and the real child edges
+  keep the original parent->child ``g`` factor, so every root-to-node
+  ``g`` product is exactly what it was in the general tree;
+* inherit the observed state of their nearest real ancestor (so
+  sign-consistency checks pass through them unchanged);
+* can never be selected as rumor initiators and contribute nothing to
+  the DP objective.
+
+The result is a :class:`BinaryCascadeTree` — a flat, index-addressed
+structure the DP consumes directly.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.likelihood import g_link
+from repro.errors import NotATreeError
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import Node, NodeState
+
+
+@dataclass
+class BinaryNode:
+    """One slot of a binarised cascade tree.
+
+    Attributes:
+        uid: index of this node in :attr:`BinaryCascadeTree.nodes`.
+        original: the cascade-tree node this slot represents, or ``None``
+            for a dummy.
+        state: observed opinion state (dummies inherit their nearest real
+            ancestor's state).
+        g_in: the MFC per-link factor ``g`` of the effective edge from
+            this node's parent (1.0 for the root and for transparent
+            dummy edges).
+        parent: uid of the parent slot (None for the root).
+        left: uid of the left child slot, if any.
+        right: uid of the right child slot, if any.
+    """
+
+    uid: int
+    original: Optional[Node]
+    state: NodeState
+    g_in: float = 1.0
+    parent: Optional[int] = None
+    left: Optional[int] = None
+    right: Optional[int] = None
+
+    @property
+    def is_dummy(self) -> bool:
+        """True for transform-inserted fan-out nodes."""
+        return self.original is None
+
+
+@dataclass
+class BinaryCascadeTree:
+    """A binarised cascade tree ready for the k-ISOMIT-BT DP.
+
+    Attributes:
+        nodes: flat slot array; ``nodes[i].uid == i``.
+        root: uid of the root slot.
+        alpha: the MFC boosting coefficient the ``g`` factors were
+            computed with.
+        num_real: number of non-dummy slots (equals the original tree's
+            node count).
+    """
+
+    nodes: List[BinaryNode] = field(default_factory=list)
+    root: int = 0
+    alpha: float = 3.0
+    num_real: int = 0
+
+    def node(self, uid: int) -> BinaryNode:
+        """Slot accessor."""
+        return self.nodes[uid]
+
+    def children(self, uid: int) -> Tuple[Optional[int], Optional[int]]:
+        """(left, right) child uids of a slot."""
+        slot = self.nodes[uid]
+        return slot.left, slot.right
+
+    def real_nodes(self) -> List[BinaryNode]:
+        """All non-dummy slots."""
+        return [n for n in self.nodes if not n.is_dummy]
+
+    def size(self) -> int:
+        """Total slot count including dummies."""
+        return len(self.nodes)
+
+    def depth(self) -> int:
+        """Height of the binarised tree (1 for a single node)."""
+        if not self.nodes:
+            return 0
+        depth_of: Dict[int, int] = {self.root: 1}
+        stack = [self.root]
+        best = 1
+        while stack:
+            uid = stack.pop()
+            for child in self.children(uid):
+                if child is not None:
+                    depth_of[child] = depth_of[uid] + 1
+                    best = max(best, depth_of[child])
+                    stack.append(child)
+        return best
+
+
+def find_tree_root(tree: SignedDiGraph) -> Node:
+    """The unique in-degree-0 node of an arborescence.
+
+    Raises:
+        NotATreeError: if there is not exactly one root.
+    """
+    roots = [v for v in tree.nodes() if tree.in_degree(v) == 0]
+    if len(roots) != 1:
+        raise NotATreeError(
+            f"expected exactly one root, found {len(roots)}: {roots[:5]!r}"
+        )
+    return roots[0]
+
+
+def binarize_cascade_tree(
+    tree: SignedDiGraph,
+    alpha: float,
+    inconsistent_value: float = 0.0,
+) -> BinaryCascadeTree:
+    """Transform a general cascade tree into a :class:`BinaryCascadeTree`.
+
+    Args:
+        tree: a rooted arborescence whose nodes carry observed states and
+            whose edges carry the original signs/weights.
+        alpha: MFC boosting coefficient used to precompute each real
+            edge's ``g`` factor from the *real* parent's observed state.
+        inconsistent_value: value of ``g`` on sign-inconsistent links
+            (paper equation: 0).
+
+    Raises:
+        NotATreeError: when ``tree`` is not a rooted arborescence.
+    """
+    if tree.number_of_nodes() == 0:
+        raise NotATreeError("cannot binarise an empty tree")
+    # `build` recurses along root-to-leaf paths; deep cascade trees need
+    # a higher recursion ceiling than CPython's default.
+    minimum_limit = 4 * tree.number_of_nodes() + 1000
+    if sys.getrecursionlimit() < minimum_limit:
+        sys.setrecursionlimit(minimum_limit)
+    if any(tree.in_degree(v) > 1 for v in tree.nodes()):
+        raise NotATreeError("input has a node with multiple parents")
+    root_node = find_tree_root(tree)
+
+    binary = BinaryCascadeTree(alpha=alpha)
+
+    def new_slot(
+        original: Optional[Node], state: NodeState, g_in: float, parent: Optional[int]
+    ) -> int:
+        uid = len(binary.nodes)
+        binary.nodes.append(
+            BinaryNode(uid=uid, original=original, state=state, g_in=g_in, parent=parent)
+        )
+        return uid
+
+    def attach_child(parent_uid: int, child_uid: int) -> None:
+        slot = binary.nodes[parent_uid]
+        if slot.left is None:
+            slot.left = child_uid
+        elif slot.right is None:
+            slot.right = child_uid
+        else:  # pragma: no cover - construction never overfills a slot
+            raise NotATreeError("internal error: binary slot overfull")
+
+    def build(node: Node, parent_uid: Optional[int], g_in: float) -> int:
+        uid = new_slot(node, tree.state(node), g_in, parent_uid)
+        children = sorted(tree.successors(node), key=repr)
+        descriptors = []
+        for child in children:
+            data = tree.edge(node, child)
+            g = g_link(
+                tree.state(node),
+                data.sign,
+                tree.state(child),
+                data.weight,
+                alpha,
+                inconsistent_value,
+            )
+            descriptors.append((child, g))
+        fan_out(uid, tree.state(node), descriptors)
+        return uid
+
+    def fan_out(
+        parent_uid: int,
+        inherited_state: NodeState,
+        descriptors: List[Tuple[Node, float]],
+    ) -> None:
+        """Attach child descriptors under ``parent_uid``, inserting
+        transparent dummies when there are more than two."""
+        if len(descriptors) <= 2:
+            for child, g in descriptors:
+                attach_child(parent_uid, build(child, parent_uid, g))
+            return
+        half = (len(descriptors) + 1) // 2
+        for chunk in (descriptors[:half], descriptors[half:]):
+            if len(chunk) == 1:
+                child, g = chunk[0]
+                attach_child(parent_uid, build(child, parent_uid, g))
+            else:
+                dummy_uid = new_slot(None, inherited_state, 1.0, parent_uid)
+                attach_child(parent_uid, dummy_uid)
+                fan_out(dummy_uid, inherited_state, chunk)
+
+    binary.root = build(root_node, None, 1.0)
+    binary.num_real = tree.number_of_nodes()
+    return binary

@@ -1,0 +1,52 @@
+"""Infected connected-component detection (Sec. III-E1).
+
+Definition 6: an infected connected component is a subgraph of the
+infected network in which — ignoring edge directions — any two vertices
+are connected. Detection is a linear-time BFS sweep, exactly as the
+paper prescribes (O(n + m)).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Set
+
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import Node
+
+
+def weakly_connected_components(graph: SignedDiGraph) -> List[Set[Node]]:
+    """Partition ``graph``'s nodes into weakly connected components.
+
+    Components are returned in deterministic order (by their smallest
+    member under repr ordering), each as a node set.
+    """
+    seen: Set[Node] = set()
+    components: List[Set[Node]] = []
+    for start in sorted(graph.nodes(), key=repr):
+        if start in seen:
+            continue
+        component: Set[Node] = {start}
+        seen.add(start)
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbor in graph.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        components.append(component)
+    return components
+
+
+def infected_components(infected: SignedDiGraph) -> List[SignedDiGraph]:
+    """Split the infected network into its connected-component subgraphs.
+
+    Node states are preserved so each component remains a self-contained
+    ISOMIT sub-instance.
+    """
+    return [
+        infected.subgraph(component, name=f"component-{index}")
+        for index, component in enumerate(weakly_connected_components(infected))
+    ]

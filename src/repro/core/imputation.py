@@ -1,0 +1,123 @@
+"""Unknown-state handling: imputation of '?' nodes.
+
+The problem setting (Sec. I-II) explicitly allows node states to be
+*unknown* ('?') "to model the fact that the states of many nodes in
+large-scale networks are often unknown", and the MFC construction
+"automatically take[s] into account [unknown users] by assuming states
+as necessary". This module realises that sentence: before detection, a
+snapshot containing UNKNOWN states is completed by propagating the MFC
+state-update rule from known-state neighbours.
+
+Imputation policy (deterministic):
+
+1. repeatedly, for every unknown node with at least one *active*
+   in-neighbour, adopt ``s(u)·s(u,v)`` from the maximum-weight such
+   in-edge (the most likely activation link, mirroring the
+   maximum-likelihood tree extraction);
+2. nodes left unknown at the fixpoint (no active ancestor at all) fall
+   back to the majority state of the imputed snapshot (ties: +1), since
+   an isolated unknown island carries no signal.
+
+:func:`mask_states` is the experiment-side counterpart: it hides a
+fraction of a snapshot's states, producing the partially observed
+inputs the robustness ablation (X4) sweeps over.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import Node, NodeState
+from repro.utils.rng import RandomSource, spawn_rng
+
+
+def mask_states(
+    infected: SignedDiGraph,
+    fraction: float,
+    rng: RandomSource = None,
+) -> SignedDiGraph:
+    """Hide a random fraction of the snapshot's states as UNKNOWN.
+
+    Args:
+        infected: a fully observed infected network (not mutated).
+        fraction: share of nodes whose state becomes '?' (0..1).
+        rng: seed or generator.
+
+    Returns:
+        A copy with masked states.
+
+    Raises:
+        ConfigError: when ``fraction`` is outside [0, 1].
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigError(f"mask fraction must be in [0, 1], got {fraction}")
+    random = spawn_rng(rng, "mask-states")
+    masked = infected.copy(name=f"{infected.name or 'infected'}-masked")
+    nodes = sorted(masked.nodes(), key=repr)
+    count = int(round(fraction * len(nodes)))
+    for node in random.sample(nodes, count):
+        masked.set_state(node, NodeState.UNKNOWN)
+    return masked
+
+
+def _best_imputation(graph: SignedDiGraph, node: Node) -> Optional[NodeState]:
+    """State implied by the max-weight in-edge from an active neighbour."""
+    best: Optional[Tuple[float, NodeState]] = None
+    for u, _, data in sorted(graph.in_edges(node), key=lambda e: repr(e[0])):
+        s_u = graph.state(u)
+        if not s_u.is_active:
+            continue
+        candidate = (data.weight, s_u.times(data.sign))
+        if best is None or candidate[0] > best[0]:
+            best = candidate
+    return best[1] if best else None
+
+
+def impute_unknown_states(snapshot: SignedDiGraph) -> SignedDiGraph:
+    """Complete a partially observed snapshot (returns a new graph).
+
+    Nodes whose state is UNKNOWN receive an imputed opinion; all other
+    states are preserved. INACTIVE nodes are left untouched (they are
+    observed to be uninfected, which is information, not absence of it).
+    """
+    completed = snapshot.copy(name=f"{snapshot.name or 'snapshot'}-imputed")
+    unknown: List[Node] = [
+        n for n in sorted(completed.nodes(), key=repr)
+        if completed.state(n) is NodeState.UNKNOWN
+    ]
+    # Fixpoint propagation from active neighbours.
+    changed = True
+    while changed and unknown:
+        changed = False
+        remaining: List[Node] = []
+        for node in unknown:
+            imputed = _best_imputation(completed, node)
+            if imputed is not None:
+                completed.set_state(node, imputed)
+                changed = True
+            else:
+                remaining.append(node)
+        unknown = remaining
+    if unknown:
+        # Isolated unknowns: majority fallback over the imputed snapshot.
+        positives = sum(
+            1 for n in completed.nodes() if completed.state(n) is NodeState.POSITIVE
+        )
+        negatives = sum(
+            1 for n in completed.nodes() if completed.state(n) is NodeState.NEGATIVE
+        )
+        fallback = NodeState.POSITIVE if positives >= negatives else NodeState.NEGATIVE
+        for node in unknown:
+            completed.set_state(node, fallback)
+    return completed
+
+
+def observed_fraction(snapshot: SignedDiGraph) -> float:
+    """Share of nodes with a known (non-'?') state."""
+    nodes = snapshot.nodes()
+    if not nodes:
+        return 1.0
+    known = sum(1 for n in nodes if snapshot.state(n) is not NodeState.UNKNOWN)
+    return known / len(nodes)

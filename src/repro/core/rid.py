@@ -1,0 +1,268 @@
+"""The RID framework — the paper's full method (Sec. III-E).
+
+Pipeline: infected connected components → maximum-likelihood cascade
+trees (Chu-Liu/Edmonds) → binarisation with dummy nodes → per-tree
+``OPT`` dynamic program with the β-penalised model selection
+
+    k*, I*, S* = argmin_{k, I, S}  −OPT(u, I, S, k) + (k − 1)·β
+
+which trades the explanation score of extra initiators against the
+per-initiator penalty β. Following the paper, k is grown from 1 and the
+search stops at the first k whose penalised objective fails to improve
+(``k_strategy='greedy'``); ``k_strategy='exhaustive'`` scans every k up
+to the tree size (the ablation in ``benchmarks/test_ablation_k_search``
+quantifies the gap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.baselines import DetectionResult, Detector
+from repro.core.binarize import binarize_cascade_tree
+from repro.core.cascade_forest import extract_cascade_forest
+from repro.core.tree_dp import KIsomitBTSolver, TreeDPResult
+from repro.errors import ConfigError
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import Node, NodeState
+
+
+@dataclass
+class RIDConfig:
+    """Hyper-parameters of the RID pipeline.
+
+    Attributes:
+        alpha: MFC asymmetric boosting coefficient used in the
+            likelihood (paper experiments: 3).
+        beta: per-extra-initiator penalty (paper sweeps 0..1; headline
+            settings 0.09 and 0.1).
+        score: arborescence score transform, ``'log'`` or ``'raw'``.
+        k_strategy: ``'greedy'`` (paper's early-stopping scan) or
+            ``'exhaustive'``.
+        max_k_per_tree: optional hard cap on initiators per cascade tree
+            (None = tree size).
+        inconsistent_value: ``g`` value for sign-inconsistent links
+            (paper equation: 0).
+        prune_inconsistent: drop sign-inconsistent links before component
+            detection and tree extraction (Sec. III-E1's "pruned"
+            network; such links cannot be activation links).
+    """
+
+    alpha: float = 3.0
+    beta: float = 0.1
+    score: str = "log"
+    k_strategy: str = "greedy"
+    max_k_per_tree: Optional[int] = None
+    inconsistent_value: float = 0.0
+    prune_inconsistent: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on out-of-range settings."""
+        if self.alpha < 1.0:
+            raise ConfigError(f"alpha must be >= 1, got {self.alpha}")
+        if self.beta < 0.0:
+            raise ConfigError(f"beta must be >= 0, got {self.beta}")
+        if self.score not in ("log", "raw"):
+            raise ConfigError(f"score must be 'log' or 'raw', got {self.score!r}")
+        if self.k_strategy not in ("greedy", "exhaustive"):
+            raise ConfigError(
+                f"k_strategy must be 'greedy' or 'exhaustive', got {self.k_strategy!r}"
+            )
+        if self.max_k_per_tree is not None and self.max_k_per_tree < 1:
+            raise ConfigError(
+                f"max_k_per_tree must be >= 1 or None, got {self.max_k_per_tree}"
+            )
+
+
+@dataclass
+class TreeSelection:
+    """Per-tree outcome of the β-penalised k search."""
+
+    tree_size: int
+    k: int
+    score: float
+    penalized_objective: float
+    initiators: Dict[Node, NodeState]
+    scanned_k: int
+
+
+class RID(Detector):
+    """Rumor Initiator Detector over infected signed networks.
+
+    Example:
+        >>> detector = RID(RIDConfig(alpha=3.0, beta=0.1))
+        >>> result = detector.detect(infected_network)   # doctest: +SKIP
+        >>> result.initiators, result.states             # doctest: +SKIP
+    """
+
+    name = "rid"
+
+    def __init__(self, config: Optional[RIDConfig] = None) -> None:
+        self.config = config or RIDConfig()
+        self.config.validate()
+        #: Per-tree diagnostics of the last :meth:`detect` call.
+        self.last_selections: List[TreeSelection] = []
+
+    # ------------------------------------------------------------------
+
+    def select_initiators_for_tree(self, tree: SignedDiGraph) -> TreeSelection:
+        """Run the β-penalised k search on one cascade tree."""
+        binary = binarize_cascade_tree(
+            tree, alpha=self.config.alpha, inconsistent_value=self.config.inconsistent_value
+        )
+        solver = KIsomitBTSolver(binary)
+        max_k = binary.num_real
+        if self.config.max_k_per_tree is not None:
+            max_k = min(max_k, self.config.max_k_per_tree)
+
+        best: Optional[TreeDPResult] = None
+        best_objective = float("-inf")
+        scanned = 0
+        for k in range(1, max_k + 1):
+            scanned += 1
+            result = solver.solve(k)
+            objective = result.score - (k - 1) * self.config.beta
+            if objective > best_objective:
+                best, best_objective = result, objective
+            elif self.config.k_strategy == "greedy":
+                # Paper heuristic: stop at the first k that fails to
+                # improve the penalised objective.
+                break
+        assert best is not None  # max_k >= 1 guarantees one iteration
+        return TreeSelection(
+            tree_size=binary.num_real,
+            k=best.k,
+            score=best.score,
+            penalized_objective=best_objective,
+            initiators=best.initiators,
+            scanned_k=scanned,
+        )
+
+    def detect(self, infected: SignedDiGraph) -> DetectionResult:
+        """Full RID detection on an infected diffusion network."""
+        trees = extract_cascade_forest(
+            infected,
+            score=self.config.score,
+            prune_inconsistent=self.config.prune_inconsistent,
+        )
+        initiators: Dict[Node, NodeState] = {}
+        total_objective = 0.0
+        self.last_selections = []
+        for tree in trees:
+            selection = self.select_initiators_for_tree(tree)
+            self.last_selections.append(selection)
+            initiators.update(selection.initiators)
+            total_objective += selection.penalized_objective
+        return DetectionResult(
+            method=f"{self.name}(beta={self.config.beta})",
+            initiators=set(initiators),
+            states=initiators,
+            trees=trees,
+            objective=total_objective,
+        )
+
+    def detect_with_budget(
+        self, infected: SignedDiGraph, budget: int
+    ) -> DetectionResult:
+        """k-ISOMIT: detect exactly ``budget`` initiators (known k).
+
+        The paper's Sec. III-D problem statement fixes the initiator
+        count; this entry point solves it across the whole snapshot by
+        (a) solving each cascade tree's DP for every feasible per-tree
+        budget and (b) distributing the global budget across trees with
+        an exact knapsack over the per-tree ``OPT`` curves. No β is
+        involved — the count is given, not penalised.
+
+        Args:
+            infected: the infected diffusion network ``G_I``.
+            budget: the exact number of initiators to report. Must be at
+                least the number of extracted trees (every tree needs
+                its root explained) and at most the infected-node count.
+
+        Raises:
+            ConfigError: for budgets outside the feasible range.
+        """
+        trees = extract_cascade_forest(
+            infected,
+            score=self.config.score,
+            prune_inconsistent=self.config.prune_inconsistent,
+        )
+        if budget < len(trees) or budget > infected.number_of_nodes():
+            raise ConfigError(
+                f"budget must be in [{len(trees)}, {infected.number_of_nodes()}] "
+                f"({len(trees)} cascade trees were extracted), got {budget}"
+            )
+        # Per-tree OPT curves: scores[t][k] for k in 1..cap_t.
+        solvers = []
+        curves: List[List[float]] = []
+        results_by_tree: List[List[TreeDPResult]] = []
+        for tree in trees:
+            binary = binarize_cascade_tree(
+                tree,
+                alpha=self.config.alpha,
+                inconsistent_value=self.config.inconsistent_value,
+            )
+            solver = KIsomitBTSolver(binary)
+            cap = binary.num_real
+            if self.config.max_k_per_tree is not None:
+                cap = min(cap, self.config.max_k_per_tree)
+            per_k = [solver.solve(k) for k in range(1, cap + 1)]
+            solvers.append(solver)
+            results_by_tree.append(per_k)
+            curves.append([result.score for result in per_k])
+
+        # Knapsack over trees: best[j] = max total score using exactly j
+        # initiators over the trees processed so far; each tree consumes
+        # at least 1.
+        neg_inf = float("-inf")
+        best: List[float] = [0.0] + [neg_inf] * budget
+        choice: List[List[int]] = []  # choice[t][j] = k taken by tree t
+        for t, curve in enumerate(curves):
+            new_best = [neg_inf] * (budget + 1)
+            tree_choice = [0] * (budget + 1)
+            for j in range(budget + 1):
+                if best[j] == neg_inf:
+                    continue
+                for k, score in enumerate(curve, start=1):
+                    total = best[j] + score
+                    if j + k <= budget and total > new_best[j + k]:
+                        new_best[j + k] = total
+                        tree_choice[j + k] = k
+            best = new_best
+            choice.append(tree_choice)
+        if best[budget] == neg_inf:
+            raise ConfigError(
+                f"budget {budget} is infeasible for the extracted trees "
+                f"(per-tree caps too small)"
+            )
+
+        # Walk the knapsack back to per-tree budgets.
+        initiators: Dict[Node, NodeState] = {}
+        remaining = budget
+        per_tree_budgets: List[int] = [0] * len(trees)
+        for t in range(len(trees) - 1, -1, -1):
+            k = choice[t][remaining]
+            per_tree_budgets[t] = k
+            remaining -= k
+        self.last_selections = []
+        for t, k in enumerate(per_tree_budgets):
+            result = results_by_tree[t][k - 1]
+            initiators.update(result.initiators)
+            self.last_selections.append(
+                TreeSelection(
+                    tree_size=trees[t].number_of_nodes(),
+                    k=k,
+                    score=result.score,
+                    penalized_objective=result.score,
+                    initiators=result.initiators,
+                    scanned_k=len(curves[t]),
+                )
+            )
+        return DetectionResult(
+            method=f"{self.name}(k={budget})",
+            initiators=set(initiators),
+            states=initiators,
+            trees=trees,
+            objective=best[budget],
+        )

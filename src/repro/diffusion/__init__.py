@@ -1,0 +1,38 @@
+"""Information-diffusion models over signed directed networks.
+
+The centrepiece is :class:`~repro.diffusion.mfc.MFCModel` — the paper's
+asyMmetric Flipping Cascade (Algorithm 1). Classic baselines used for
+comparison and by the related work live alongside it: Independent Cascade
+(IC), Linear Threshold (LT), Susceptible-Infectious-Recovered (SIR), the
+signed Voter model, and Polarity Independent Cascade (P-IC).
+
+All models share the :class:`~repro.diffusion.base.DiffusionModel`
+interface and produce a :class:`~repro.diffusion.base.DiffusionResult`
+carrying final states, the full activation-event log, and the realised
+activation links (the cascade forest of Definition 4).
+"""
+
+from repro.diffusion.base import ActivationEvent, DiffusionModel, DiffusionResult
+from repro.diffusion.ic import ICModel
+from repro.diffusion.lt import LTModel
+from repro.diffusion.mfc import MFCModel
+from repro.diffusion.pic import PICModel
+from repro.diffusion.sir import SIRModel
+from repro.diffusion.voter import SignedVoterModel
+from repro.diffusion.seeds import plant_random_initiators
+from repro.diffusion.monte_carlo import estimate_spread, simulate_many
+
+__all__ = [
+    "ActivationEvent",
+    "DiffusionModel",
+    "DiffusionResult",
+    "MFCModel",
+    "ICModel",
+    "LTModel",
+    "SIRModel",
+    "SignedVoterModel",
+    "PICModel",
+    "plant_random_initiators",
+    "estimate_spread",
+    "simulate_many",
+]

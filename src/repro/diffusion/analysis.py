@@ -1,0 +1,133 @@
+"""Cascade analytics: structural statistics of simulated diffusions.
+
+Sec. IV-B3 notes that "extensive diffusion analyses have been done" with
+MFC on the evaluation networks; this module provides those analyses as
+reusable code: per-cascade structural statistics (size, depth, width,
+activation-link sign mix, flip counts, state mix) and their aggregation
+over Monte-Carlo batches. Used by the diffusion-analysis experiment and
+handy for anyone studying MFC's behaviour on their own networks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from statistics import mean
+from typing import Dict, List, Sequence
+
+from repro.diffusion.base import DiffusionResult
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import Node, NodeState, Sign
+
+
+@dataclass
+class CascadeStats:
+    """Structural statistics of one simulated cascade.
+
+    Attributes:
+        num_infected: final infected-set size.
+        num_seeds: planted initiator count.
+        depth: longest seed-to-node chain in the activation forest
+            (0 for seed-only cascades).
+        rounds: diffusion rounds until quiescence.
+        flips: number of state-flip events.
+        positive_fraction: share of infected nodes ending ``+1``.
+        positive_link_activations: activation links that are positive
+            (trust) edges.
+        negative_link_activations: activation links that are negative
+            (distrust) edges.
+    """
+
+    num_infected: int
+    num_seeds: int
+    depth: int
+    rounds: int
+    flips: int
+    positive_fraction: float
+    positive_link_activations: int
+    negative_link_activations: int
+
+    @property
+    def negative_activation_share(self) -> float:
+        """Fraction of activation links that are distrust edges."""
+        total = self.positive_link_activations + self.negative_link_activations
+        return self.negative_link_activations / total if total else 0.0
+
+
+def _forest_depth(seeds: Sequence[Node], links: Dict[Node, Node]) -> int:
+    """Longest chain from any seed through the activation links."""
+    children: Dict[Node, List[Node]] = {}
+    for target, source in links.items():
+        children.setdefault(source, []).append(target)
+    depth = 0
+    queue = deque((seed, 0) for seed in seeds)
+    seen = set(seeds)
+    while queue:
+        node, level = queue.popleft()
+        depth = max(depth, level)
+        for child in children.get(node, ()):
+            if child not in seen:
+                seen.add(child)
+                queue.append((child, level + 1))
+    return depth
+
+
+def cascade_stats(result: DiffusionResult, diffusion: SignedDiGraph) -> CascadeStats:
+    """Compute :class:`CascadeStats` for one cascade."""
+    infected = result.infected_nodes()
+    links = result.activation_links()
+    positive_links = negative_links = 0
+    for target, source in links.items():
+        if diffusion.sign(source, target) is Sign.POSITIVE:
+            positive_links += 1
+        else:
+            negative_links += 1
+    positives = sum(
+        1 for node in infected if result.final_states[node] is NodeState.POSITIVE
+    )
+    return CascadeStats(
+        num_infected=len(infected),
+        num_seeds=len(result.seeds),
+        depth=_forest_depth(list(result.seeds), links),
+        rounds=result.rounds,
+        flips=sum(1 for event in result.events if event.was_flip),
+        positive_fraction=positives / len(infected) if infected else 0.0,
+        positive_link_activations=positive_links,
+        negative_link_activations=negative_links,
+    )
+
+
+@dataclass
+class AggregatedCascadeStats:
+    """Means of :class:`CascadeStats` over a Monte-Carlo batch."""
+
+    trials: int
+    mean_infected: float
+    mean_depth: float
+    mean_rounds: float
+    mean_flips: float
+    mean_positive_fraction: float
+    mean_negative_activation_share: float
+
+
+def aggregate_cascade_stats(
+    stats: Sequence[CascadeStats],
+) -> AggregatedCascadeStats:
+    """Average a batch of per-cascade statistics.
+
+    Raises:
+        ValueError: on an empty batch.
+    """
+    if not stats:
+        raise ValueError("cannot aggregate zero cascades")
+    return AggregatedCascadeStats(
+        trials=len(stats),
+        mean_infected=mean(s.num_infected for s in stats),
+        mean_depth=mean(s.depth for s in stats),
+        mean_rounds=mean(s.rounds for s in stats),
+        mean_flips=mean(s.flips for s in stats),
+        mean_positive_fraction=mean(s.positive_fraction for s in stats),
+        mean_negative_activation_share=mean(
+            s.negative_activation_share for s in stats
+        ),
+    )

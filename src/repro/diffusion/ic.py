@@ -1,0 +1,78 @@
+"""The classic Independent Cascade (IC) model (Kempe et al., KDD 2003).
+
+Signs are ignored entirely — this is the unsigned baseline the paper's
+Sec. III-A1 describes and Figure 2 contrasts MFC against. To keep results
+comparable with signed models, activated nodes still *carry* the state
+they would inherit through the sign product, but signs play no role in
+the activation probabilities and there is no flipping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.diffusion.base import (
+    ActivationEvent,
+    DiffusionModel,
+    DiffusionResult,
+    sorted_nodes,
+)
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import Node, NodeState
+from repro.utils.rng import RandomSource
+
+
+class ICModel(DiffusionModel):
+    """Independent Cascade over the diffusion network's weights.
+
+    Args:
+        propagate_signs: when True (default), an activated node takes
+            state ``s(u)·s_D(u,v)`` so the outcome is comparable with
+            signed models; when False everyone simply takes the
+            activator's state (pure unsigned IC).
+    """
+
+    name = "ic"
+
+    def __init__(self, propagate_signs: bool = True) -> None:
+        self.propagate_signs = propagate_signs
+
+    def run(
+        self,
+        diffusion: SignedDiGraph,
+        seeds: Dict[Node, NodeState],
+        rng: RandomSource = None,
+    ) -> DiffusionResult:
+        validated, random, states, events = self._prepare(diffusion, seeds, rng)
+        frontier = sorted_nodes(validated)
+        attempted: Set[Tuple[Node, Node]] = set()
+        round_index = 0
+
+        while frontier:
+            round_index += 1
+            fresh: Set[Node] = set()
+            for u in frontier:
+                s_u = states[u]
+                for v in sorted_nodes(diffusion.successors(u)):
+                    if (u, v) in attempted:
+                        continue
+                    if states.get(v, NodeState.INACTIVE).is_active:
+                        continue  # IC never re-activates
+                    attempted.add((u, v))
+                    if random.random() < diffusion.weight(u, v):
+                        if self.propagate_signs:
+                            new_state = s_u.times(diffusion.sign(u, v))
+                        else:
+                            new_state = s_u
+                        states[v] = new_state
+                        events.append(
+                            ActivationEvent(
+                                round=round_index, source=u, target=v, state=new_state
+                            )
+                        )
+                        fresh.add(v)
+            frontier = sorted_nodes(fresh)
+
+        return DiffusionResult(
+            seeds=validated, final_states=states, events=events, rounds=round_index
+        )

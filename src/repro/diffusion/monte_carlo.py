@@ -1,0 +1,85 @@
+"""Monte-Carlo helpers over diffusion models.
+
+Repeated simulation with derived per-trial seeds, plus simple spread and
+state-mix estimators. Used by the MFC-vs-IC comparison (Figure 2 bench)
+and the α-sensitivity ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, pstdev
+from typing import Dict, List
+
+from repro.diffusion.base import DiffusionModel, DiffusionResult
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import Node, NodeState
+from repro.utils.rng import derive_seed
+
+
+@dataclass
+class SpreadEstimate:
+    """Aggregated cascade statistics over repeated simulations.
+
+    Attributes:
+        mean_infected: average final infected-set size.
+        std_infected: population standard deviation of the size.
+        mean_positive_fraction: average share of infected nodes ending
+            with state +1.
+        mean_flips: average number of flip events per cascade.
+        mean_rounds: average rounds to quiescence.
+        trials: number of simulations aggregated.
+    """
+
+    mean_infected: float
+    std_infected: float
+    mean_positive_fraction: float
+    mean_flips: float
+    mean_rounds: float
+    trials: int
+
+
+def simulate_many(
+    model: DiffusionModel,
+    diffusion: SignedDiGraph,
+    seeds: Dict[Node, NodeState],
+    trials: int,
+    base_seed: int = 0,
+) -> List[DiffusionResult]:
+    """Run ``trials`` independent cascades with derived deterministic seeds."""
+    return [
+        model.run(diffusion, seeds, rng=derive_seed(base_seed, model.name, trial))
+        for trial in range(trials)
+    ]
+
+
+def estimate_spread(
+    model: DiffusionModel,
+    diffusion: SignedDiGraph,
+    seeds: Dict[Node, NodeState],
+    trials: int = 20,
+    base_seed: int = 0,
+) -> SpreadEstimate:
+    """Estimate expected spread and state mix of ``model`` from ``seeds``."""
+    results = simulate_many(model, diffusion, seeds, trials, base_seed)
+    sizes = [float(r.num_infected()) for r in results]
+    positive_fractions = []
+    flips = []
+    for r in results:
+        infected = r.infected_nodes()
+        if infected:
+            positives = sum(
+                1 for n in infected if r.final_states[n] is NodeState.POSITIVE
+            )
+            positive_fractions.append(positives / len(infected))
+        else:
+            positive_fractions.append(0.0)
+        flips.append(float(sum(1 for e in r.events if e.was_flip)))
+    return SpreadEstimate(
+        mean_infected=mean(sizes),
+        std_infected=pstdev(sizes) if len(sizes) > 1 else 0.0,
+        mean_positive_fraction=mean(positive_fractions),
+        mean_flips=mean(flips),
+        mean_rounds=mean(float(r.rounds) for r in results),
+        trials=trials,
+    )

@@ -1,0 +1,136 @@
+"""Exception hierarchy for the library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the whole family with one clause. Sub-hierarchies mirror
+the package layout: graph substrate, diffusion simulation, detection
+pipeline, complexity tooling, and experiment configuration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+# --------------------------------------------------------------------------
+# Graph substrate
+# --------------------------------------------------------------------------
+
+
+class GraphError(ReproError):
+    """Base class for errors from the signed-graph substrate."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node is not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced directed edge is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r} -> {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class DuplicateNodeError(GraphError, ValueError):
+    """Attempted to add a node that already exists (strict mode)."""
+
+
+class InvalidSignError(GraphError, ValueError):
+    """A link sign is outside ``{-1, +1}``."""
+
+
+class InvalidWeightError(GraphError, ValueError):
+    """A link weight is outside the closed interval ``[0, 1]``."""
+
+
+class NotATreeError(GraphError, ValueError):
+    """An operation that requires a (binary) tree received something else."""
+
+
+class NotBinaryTreeError(NotATreeError):
+    """An operation that requires a binary tree received a wider tree."""
+
+
+class GraphFormatError(GraphError, ValueError):
+    """A serialized graph (SNAP edge list, JSON, ...) is malformed."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+# --------------------------------------------------------------------------
+# Diffusion simulation
+# --------------------------------------------------------------------------
+
+
+class DiffusionError(ReproError):
+    """Base class for diffusion-model errors."""
+
+
+class InvalidSeedError(DiffusionError, ValueError):
+    """The initiator set / state assignment handed to a model is invalid."""
+
+
+class InvalidModelParameterError(DiffusionError, ValueError):
+    """A diffusion-model parameter (alpha, thresholds, ...) is out of range."""
+
+
+# --------------------------------------------------------------------------
+# Detection pipeline (RID and baselines)
+# --------------------------------------------------------------------------
+
+
+class DetectionError(ReproError):
+    """Base class for errors from the RID pipeline and baselines."""
+
+
+class EmptyInfectionError(DetectionError, ValueError):
+    """The infected snapshot contains no active node — nothing to detect."""
+
+
+class ArborescenceError(DetectionError):
+    """No spanning arborescence / cascade forest could be extracted."""
+
+
+class DynamicProgramError(DetectionError):
+    """The tree dynamic program was driven with inconsistent arguments."""
+
+
+# --------------------------------------------------------------------------
+# Complexity tooling (set-cover reduction)
+# --------------------------------------------------------------------------
+
+
+class ComplexityError(ReproError):
+    """Base class for errors from the NP-hardness tooling."""
+
+
+class InvalidSetCoverError(ComplexityError, ValueError):
+    """A set-cover instance is malformed (e.g., subsets not covering)."""
+
+
+class InfeasibleCoverError(ComplexityError):
+    """The set-cover instance admits no feasible cover."""
+
+
+# --------------------------------------------------------------------------
+# Experiments
+# --------------------------------------------------------------------------
+
+
+class ExperimentError(ReproError):
+    """Base class for experiment-harness errors."""
+
+
+class ConfigError(ExperimentError, ValueError):
+    """An experiment configuration value is out of range or inconsistent."""

@@ -1,0 +1,37 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+One module per artefact (see DESIGN.md §4 for the index):
+
+* :mod:`~repro.experiments.table2` — Table II dataset properties;
+* :mod:`~repro.experiments.fig2`   — MFC vs IC micro-behaviour (Fig. 2);
+* :mod:`~repro.experiments.fig4`   — detection quality of RID vs
+  baselines on both networks (Fig. 4);
+* :mod:`~repro.experiments.fig5`   — β sensitivity of detection (Fig. 5);
+* :mod:`~repro.experiments.fig6`   — β sensitivity of state inference
+  (Fig. 6);
+* :mod:`~repro.experiments.lemma31` — executable set-cover reduction;
+* :mod:`~repro.experiments.ablations` — α sweep, k-search strategy and
+  DP-scaling ablations.
+
+Shared plumbing: :mod:`~repro.experiments.workload` builds the paper's
+simulate-then-detect worlds; :mod:`~repro.experiments.runner` evaluates
+detectors over trials; :mod:`~repro.experiments.reporting` renders ASCII
+tables/series and persists JSON.
+"""
+
+from repro.experiments.config import WorkloadConfig
+from repro.experiments.workload import Workload, build_workload
+from repro.experiments.runner import (
+    DetectorEvaluation,
+    aggregate_evaluations,
+    evaluate_detector,
+)
+
+__all__ = [
+    "WorkloadConfig",
+    "Workload",
+    "build_workload",
+    "DetectorEvaluation",
+    "evaluate_detector",
+    "aggregate_evaluations",
+]

@@ -1,0 +1,94 @@
+"""Command-line entry point: ``repro-experiments <artefact> [options]``.
+
+Regenerates any of the paper's tables/figures from the terminal:
+
+    repro-experiments table2 --scale 0.01
+    repro-experiments fig4 --scale 0.01 --trials 3
+    repro-experiments fig5 --scale 0.01
+    repro-experiments fig6 --scale 0.01
+    repro-experiments fig2
+    repro-experiments lemma31
+    repro-experiments ablations
+    repro-experiments all --scale 0.005
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.experiments import (
+    ablations,
+    diffusion_analysis,
+    fig2,
+    fig4,
+    fig5,
+    fig6,
+    lemma31,
+    robustness,
+    sweeps,
+    table2,
+)
+
+ARTEFACTS = (
+    "table2",
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "lemma31",
+    "ablations",
+    "robustness",
+    "diffusion",
+    "sweeps",
+    "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the ICDCS'17 "
+        "rumor-initiator-detection paper.",
+    )
+    parser.add_argument("artefact", choices=ARTEFACTS, help="which artefact to regenerate")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.01,
+        help="fraction of the full dataset size to synthesise (default 0.01)",
+    )
+    parser.add_argument("--trials", type=int, default=2, help="trials to average over")
+    parser.add_argument("--seed", type=int, default=7, help="master random seed")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Dispatch to the requested experiment module."""
+    args = build_parser().parse_args(argv)
+    if args.artefact in ("table2", "all"):
+        table2.main(scale=args.scale, seed=args.seed)
+    if args.artefact in ("fig2", "all"):
+        fig2.main(seed=args.seed)
+    if args.artefact in ("fig4", "all"):
+        fig4.main(scale=args.scale, trials=args.trials, seed=args.seed)
+    if args.artefact in ("fig5", "all"):
+        fig5.main(scale=args.scale, trials=args.trials, seed=args.seed)
+    if args.artefact in ("fig6", "all"):
+        fig6.main(scale=args.scale, trials=args.trials, seed=args.seed)
+    if args.artefact in ("lemma31", "all"):
+        lemma31.main(seed=args.seed)
+    if args.artefact in ("ablations", "all"):
+        ablations.main(seed=args.seed)
+    if args.artefact in ("robustness", "all"):
+        robustness.main(seed=args.seed, scale=args.scale)
+    if args.artefact in ("diffusion", "all"):
+        diffusion_analysis.main(scale=args.scale, trials=args.trials, seed=args.seed)
+    if args.artefact in ("sweeps", "all"):
+        sweeps.main(seed=args.seed, scale=args.scale)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+"""Plain-text reporting: ASCII tables, series, paper-vs-measured rows.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent across experiments and also
+persist structured JSON for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, precision: int = 3) -> str:
+    """Render one table cell (floats fixed-precision, None as '-')."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered: List[List[str]] = [[format_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[Cell],
+    ys: Sequence[Cell],
+    x_label: str = "x",
+    y_label: str = "y",
+    precision: int = 3,
+) -> str:
+    """Render an (x, y) series the way the paper's figures report them."""
+    pairs = ", ".join(
+        f"{format_cell(x, precision)}:{format_cell(y, precision)}" for x, y in zip(xs, ys)
+    )
+    return f"{name} [{x_label} -> {y_label}]: {pairs}"
+
+
+def format_paper_vs_measured(
+    label: str,
+    paper_value: Cell,
+    measured_value: Cell,
+    note: str = "",
+    precision: int = 3,
+) -> str:
+    """One EXPERIMENTS.md-style comparison row."""
+    parts = [
+        f"{label}: paper={format_cell(paper_value, precision)}",
+        f"measured={format_cell(measured_value, precision)}",
+    ]
+    if note:
+        parts.append(f"({note})")
+    return "  ".join(parts)
+
+
+def save_json(payload: object, path: Union[str, Path]) -> None:
+    """Persist an experiment payload as indented JSON."""
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)

@@ -1,0 +1,238 @@
+"""Ablation X4 — robustness to unknown ('?') node states.
+
+The problem setting explicitly allows unknown states (Sec. I-II); the
+paper's experiments observe every state. This ablation quantifies the
+gap: mask a growing fraction of the infected snapshot's states as '?',
+complete them with the MFC-rule imputation of
+:mod:`repro.core.imputation`, and measure how RID's detection quality
+degrades.
+
+Also hosts ablation X5 — the ``g``-function's inconsistent-link value:
+the paper's equation assigns 0 where its prose says 1 (see
+``repro.core.likelihood``); X5 runs RID under both readings and
+compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.imputation import impute_unknown_states, mask_states, observed_fraction
+from repro.core.rid import RID, RIDConfig
+from repro.experiments.config import WorkloadConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.workload import Workload, build_workload
+from repro.metrics.identity import IdentityMetrics, identity_metrics
+from repro.utils.rng import derive_seed
+
+
+@dataclass
+class MaskingPoint:
+    """Detection quality at one masking level."""
+
+    mask_fraction: float
+    observed_fraction: float
+    precision: float
+    recall: float
+    f1: float
+    num_detected: int
+
+
+def run_masking_sweep(
+    fractions: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
+    scale: float = 0.005,
+    beta: float = 0.8,
+    seed: int = 7,
+    dataset: str = "epinions",
+) -> List[MaskingPoint]:
+    """Mask states, impute, detect, score — per masking fraction."""
+    workload: Workload = build_workload(
+        WorkloadConfig(dataset=dataset, scale=scale, seed=seed)
+    )
+    truth = set(workload.seeds)
+    points: List[MaskingPoint] = []
+    for fraction in fractions:
+        masked = mask_states(
+            workload.infected, fraction, rng=derive_seed(seed, "mask", fraction)
+        )
+        completed = impute_unknown_states(masked)
+        result = RID(RIDConfig(beta=beta)).detect(completed)
+        metrics: IdentityMetrics = identity_metrics(result.initiators, truth)
+        points.append(
+            MaskingPoint(
+                mask_fraction=fraction,
+                observed_fraction=observed_fraction(masked),
+                precision=metrics.precision,
+                recall=metrics.recall,
+                f1=metrics.f1,
+                num_detected=len(result.initiators),
+            )
+        )
+    return points
+
+
+def render_masking_sweep(points: List[MaskingPoint]) -> str:
+    """ASCII table for the X4 ablation."""
+    rows = [
+        (
+            p.mask_fraction,
+            p.observed_fraction,
+            p.num_detected,
+            p.precision,
+            p.recall,
+            p.f1,
+        )
+        for p in points
+    ]
+    return format_table(
+        headers=["masked", "observed", "#detected", "precision", "recall", "F1"],
+        rows=rows,
+        title="Ablation X4 — robustness to unknown ('?') states",
+    )
+
+
+@dataclass
+class InconsistentValueComparison:
+    """RID under the equation (g=0) vs prose (g=1) readings."""
+
+    inconsistent_value: float
+    precision: float
+    recall: float
+    f1: float
+    num_detected: int
+
+
+def run_inconsistent_value_ablation(
+    scale: float = 0.005,
+    beta: float = 0.8,
+    seed: int = 7,
+    dataset: str = "epinions",
+) -> List[InconsistentValueComparison]:
+    """Ablation X5: the two readings of g on sign-inconsistent links."""
+    workload = build_workload(WorkloadConfig(dataset=dataset, scale=scale, seed=seed))
+    truth = set(workload.seeds)
+    comparisons: List[InconsistentValueComparison] = []
+    for value in (0.0, 1.0):
+        result = RID(
+            RIDConfig(beta=beta, inconsistent_value=value)
+        ).detect(workload.infected)
+        metrics = identity_metrics(result.initiators, truth)
+        comparisons.append(
+            InconsistentValueComparison(
+                inconsistent_value=value,
+                precision=metrics.precision,
+                recall=metrics.recall,
+                f1=metrics.f1,
+                num_detected=len(result.initiators),
+            )
+        )
+    return comparisons
+
+
+def render_inconsistent_value(
+    comparisons: List[InconsistentValueComparison],
+) -> str:
+    """ASCII table for the X5 ablation."""
+    rows = [
+        (c.inconsistent_value, c.num_detected, c.precision, c.recall, c.f1)
+        for c in comparisons
+    ]
+    return format_table(
+        headers=["g(inconsistent)", "#detected", "precision", "recall", "F1"],
+        rows=rows,
+        title="Ablation X5 — inconsistent-link g value (equation 0 vs prose 1)",
+    )
+
+
+@dataclass
+class SnapshotTimePoint:
+    """Detection quality when the snapshot is taken after ``rounds`` steps."""
+
+    rounds: int
+    infected: int
+    precision: float
+    recall: float
+    f1: float
+    num_detected: int
+
+
+def run_snapshot_time_sweep(
+    rounds: Sequence[int] = (1, 2, 4, 8, 100),
+    scale: float = 0.005,
+    beta: float = 0.8,
+    seed: int = 7,
+    dataset: str = "epinions",
+) -> List[SnapshotTimePoint]:
+    """Ablation X7 — observation time.
+
+    ISOMIT's input is "the state of the network at a given moment in
+    time" (Sec. I); this sweep truncates the MFC cascade after a fixed
+    number of rounds and measures how detection quality evolves as the
+    rumor ages: early snapshots are small but initiator-dense, late
+    snapshots large but initiator-diluted.
+    """
+    from repro.diffusion.mfc import MFCModel
+    from repro.diffusion.seeds import plant_random_initiators
+    from repro.graphs.transforms import to_diffusion_network
+    from repro.weights.jaccard import assign_jaccard_weights
+    from repro.experiments.workload import build_network, dataset_profile
+
+    config = WorkloadConfig(dataset=dataset, scale=scale, seed=seed)
+    config.validate()
+    social = build_network(config)
+    diffusion = to_diffusion_network(social)
+    assign_jaccard_weights(
+        diffusion,
+        social,
+        rng=derive_seed(seed, "weights"),
+        gain=dataset_profile(dataset).default_jaccard_gain,
+    )
+    seeds = plant_random_initiators(
+        diffusion,
+        count=min(config.resolved_num_initiators(), diffusion.number_of_nodes()),
+        positive_ratio=config.positive_ratio,
+        rng=derive_seed(seed, "seeds", 0),
+    )
+    truth = set(seeds)
+
+    points: List[SnapshotTimePoint] = []
+    for budget in rounds:
+        model = MFCModel(alpha=config.alpha, max_rounds=budget)
+        cascade = model.run(diffusion, seeds, rng=derive_seed(seed, "cascade", 0))
+        infected = cascade.infected_network(diffusion)
+        result = RID(RIDConfig(beta=beta)).detect(infected)
+        metrics = identity_metrics(result.initiators, truth)
+        points.append(
+            SnapshotTimePoint(
+                rounds=budget,
+                infected=infected.number_of_nodes(),
+                precision=metrics.precision,
+                recall=metrics.recall,
+                f1=metrics.f1,
+                num_detected=len(result.initiators),
+            )
+        )
+    return points
+
+
+def render_snapshot_time(points: List[SnapshotTimePoint]) -> str:
+    """ASCII table for the X7 ablation."""
+    rows = [
+        (p.rounds, p.infected, p.num_detected, p.precision, p.recall, p.f1)
+        for p in points
+    ]
+    return format_table(
+        headers=["rounds", "infected", "#detected", "precision", "recall", "F1"],
+        rows=rows,
+        title="Ablation X7 — observation time (snapshot age in rounds)",
+    )
+
+
+def main(seed: int = 7, scale: float = 0.005) -> None:
+    """Run and print the robustness ablations."""
+    print(render_masking_sweep(run_masking_sweep(scale=scale, seed=seed)))
+    print()
+    print(render_inconsistent_value(run_inconsistent_value_ablation(scale=scale, seed=seed)))
+    print()
+    print(render_snapshot_time(run_snapshot_time_sweep(scale=scale, seed=seed)))

@@ -1,0 +1,110 @@
+"""Detector evaluation and multi-trial aggregation."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from statistics import mean
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.baselines import DetectionResult, Detector
+from repro.experiments.config import WorkloadConfig
+from repro.experiments.workload import Workload, build_workload
+from repro.metrics.identity import IdentityMetrics, identity_metrics
+from repro.metrics.state import StateMetrics, state_metrics
+
+
+@dataclass
+class DetectorEvaluation:
+    """Scores of one detector on one workload.
+
+    Attributes:
+        method: detector label.
+        identity: precision/recall/F1 against the planted initiators.
+        state: state-inference metrics (None for identity-only methods).
+        num_detected: size of the reported initiator set.
+        num_truth: size of the planted initiator set.
+        seconds: wall-clock detection time.
+    """
+
+    method: str
+    identity: IdentityMetrics
+    state: Optional[StateMetrics]
+    num_detected: int
+    num_truth: int
+    seconds: float
+
+
+def evaluate_detector(detector: Detector, workload: Workload) -> DetectorEvaluation:
+    """Run ``detector`` on a workload and score it against ground truth."""
+    start = time.perf_counter()
+    result: DetectionResult = detector.detect(workload.infected)
+    elapsed = time.perf_counter() - start
+    truth = set(workload.seeds)
+    identity = identity_metrics(result.initiators, truth)
+    state: Optional[StateMetrics] = None
+    if result.states:
+        state = state_metrics(result.states, workload.ground_truth_states())
+    return DetectorEvaluation(
+        method=result.method,
+        identity=identity,
+        state=state,
+        num_detected=len(result.initiators),
+        num_truth=len(truth),
+        seconds=elapsed,
+    )
+
+
+@dataclass
+class AggregatedEvaluation:
+    """Trial-averaged detector scores."""
+
+    method: str
+    precision: float
+    recall: float
+    f1: float
+    num_detected: float
+    accuracy: Optional[float]
+    mae: Optional[float]
+    r2: Optional[float]
+    seconds: float
+    trials: int
+
+
+def aggregate_evaluations(evaluations: Sequence[DetectorEvaluation]) -> AggregatedEvaluation:
+    """Average a detector's scores over trials (state metrics only when
+    every trial produced them)."""
+    if not evaluations:
+        raise ValueError("cannot aggregate zero evaluations")
+    has_state = all(e.state is not None for e in evaluations)
+    return AggregatedEvaluation(
+        method=evaluations[0].method,
+        precision=mean(e.identity.precision for e in evaluations),
+        recall=mean(e.identity.recall for e in evaluations),
+        f1=mean(e.identity.f1 for e in evaluations),
+        num_detected=mean(float(e.num_detected) for e in evaluations),
+        accuracy=mean(e.state.accuracy for e in evaluations) if has_state else None,
+        mae=mean(e.state.mae for e in evaluations) if has_state else None,
+        r2=mean(e.state.r2 for e in evaluations) if has_state else None,
+        seconds=mean(e.seconds for e in evaluations),
+        trials=len(evaluations),
+    )
+
+
+def run_detection_trials(
+    config: WorkloadConfig,
+    detector_factories: Dict[str, Callable[[], Detector]],
+    trials: int = 3,
+) -> Dict[str, AggregatedEvaluation]:
+    """Evaluate each detector factory over ``trials`` derived workloads.
+
+    Detectors are constructed fresh per trial (they may carry per-run
+    diagnostics); all detectors see the *same* workload in each trial so
+    comparisons are paired.
+    """
+    per_method: Dict[str, List[DetectorEvaluation]] = {name: [] for name in detector_factories}
+    for trial in range(trials):
+        workload = build_workload(config, trial=trial)
+        for name, factory in detector_factories.items():
+            per_method[name].append(evaluate_detector(factory(), workload))
+    return {name: aggregate_evaluations(evs) for name, evs in per_method.items()}

@@ -1,0 +1,218 @@
+"""Generic parameter sweeps over the simulate-then-detect pipeline.
+
+The figure modules sweep β; research use wants to sweep *anything* —
+α, θ, N, scale — without rewriting the loop every time. This module
+provides that harness: a sweep varies one :class:`WorkloadConfig` field
+across values, runs a detector per workload, and collects the standard
+metric bundle per point.
+
+Also hosts the two parameter studies built on it:
+
+* **X9 — oracle k**: how much does knowing the true initiator count
+  help? Compares β-mode RID against ``detect_with_budget(k = |truth|)``.
+* **X10 — θ sensitivity**: the paper fixes the positive ratio at 0.5;
+  sweeping it changes how much contradictory information meets in the
+  network and therefore the flip rate and detectability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.baselines import Detector
+from repro.core.rid import RID, RIDConfig
+from repro.experiments.config import WorkloadConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.workload import build_workload
+from repro.errors import ConfigError
+from repro.metrics.identity import identity_metrics
+from repro.metrics.state import state_metrics
+
+
+@dataclass
+class SweepPoint:
+    """Metrics of one detector run at one swept value."""
+
+    value: object
+    infected: int
+    num_truth: int
+    num_detected: int
+    precision: float
+    recall: float
+    f1: float
+    state_accuracy: Optional[float]
+    flips: int
+
+
+def sweep_workload_parameter(
+    field: str,
+    values: Sequence[object],
+    detector_factory: Callable[[], Detector],
+    base_config: Optional[WorkloadConfig] = None,
+    trial: int = 0,
+) -> List[SweepPoint]:
+    """Vary one :class:`WorkloadConfig` field and detect at each value.
+
+    Args:
+        field: name of the config dataclass field to sweep.
+        values: the values to substitute.
+        detector_factory: builds a fresh detector per point.
+        base_config: configuration for the non-swept fields.
+        trial: workload trial index (fixed across the sweep).
+
+    Raises:
+        ConfigError: when ``field`` is not a WorkloadConfig field.
+    """
+    base = base_config or WorkloadConfig()
+    if field not in {f.name for f in dataclasses.fields(WorkloadConfig)}:
+        raise ConfigError(f"unknown WorkloadConfig field {field!r}")
+    points: List[SweepPoint] = []
+    for value in values:
+        config = dataclasses.replace(base, **{field: value})
+        workload = build_workload(config, trial=trial)
+        truth = set(workload.seeds)
+        result = detector_factory().detect(workload.infected)
+        identity = identity_metrics(result.initiators, truth)
+        accuracy: Optional[float] = None
+        if result.states:
+            state = state_metrics(result.states, workload.seeds)
+            accuracy = state.accuracy if state.evaluated else None
+        points.append(
+            SweepPoint(
+                value=value,
+                infected=workload.infected.number_of_nodes(),
+                num_truth=len(truth),
+                num_detected=len(result.initiators),
+                precision=identity.precision,
+                recall=identity.recall,
+                f1=identity.f1,
+                state_accuracy=accuracy,
+                flips=sum(1 for e in workload.cascade.events if e.was_flip),
+            )
+        )
+    return points
+
+
+def render_sweep(field: str, points: List[SweepPoint]) -> str:
+    """ASCII table for any sweep."""
+    rows = [
+        (
+            p.value,
+            p.infected,
+            p.flips,
+            p.num_detected,
+            p.precision,
+            p.recall,
+            p.f1,
+            p.state_accuracy,
+        )
+        for p in points
+    ]
+    return format_table(
+        headers=[field, "infected", "flips", "#detected", "precision", "recall", "F1", "state acc"],
+        rows=rows,
+        title=f"Sweep over {field}",
+    )
+
+
+# --------------------------------------------------------------------------
+# X9: oracle k
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class OracleKComparison:
+    """β-mode RID vs known-k RID on the same workload."""
+
+    mode: str
+    num_detected: int
+    precision: float
+    recall: float
+    f1: float
+
+
+def run_oracle_k_ablation(
+    scale: float = 0.005,
+    beta: float = 0.8,
+    seed: int = 7,
+    dataset: str = "epinions",
+) -> List[OracleKComparison]:
+    """Compare penalised model selection with the oracle initiator count."""
+    workload = build_workload(WorkloadConfig(dataset=dataset, scale=scale, seed=seed))
+    truth = set(workload.seeds)
+    comparisons: List[OracleKComparison] = []
+
+    beta_result = RID(RIDConfig(beta=beta)).detect(workload.infected)
+    metrics = identity_metrics(beta_result.initiators, truth)
+    comparisons.append(
+        OracleKComparison(
+            mode=f"beta={beta}",
+            num_detected=len(beta_result.initiators),
+            precision=metrics.precision,
+            recall=metrics.recall,
+            f1=metrics.f1,
+        )
+    )
+
+    detector = RID(RIDConfig(beta=beta))
+    trees = len(beta_result.trees)
+    oracle_budget = max(len(truth), trees)
+    oracle_result = detector.detect_with_budget(workload.infected, oracle_budget)
+    metrics = identity_metrics(oracle_result.initiators, truth)
+    comparisons.append(
+        OracleKComparison(
+            mode=f"oracle k={oracle_budget}",
+            num_detected=len(oracle_result.initiators),
+            precision=metrics.precision,
+            recall=metrics.recall,
+            f1=metrics.f1,
+        )
+    )
+    return comparisons
+
+
+def render_oracle_k(comparisons: List[OracleKComparison]) -> str:
+    """ASCII table for the X9 ablation."""
+    rows = [
+        (c.mode, c.num_detected, c.precision, c.recall, c.f1) for c in comparisons
+    ]
+    return format_table(
+        headers=["mode", "#detected", "precision", "recall", "F1"],
+        rows=rows,
+        title="Ablation X9 — beta model selection vs oracle initiator count",
+    )
+
+
+# --------------------------------------------------------------------------
+# X10: theta sensitivity
+# --------------------------------------------------------------------------
+
+
+def run_theta_sweep(
+    thetas: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    scale: float = 0.005,
+    beta: float = 0.8,
+    seed: int = 7,
+    dataset: str = "epinions",
+) -> List[SweepPoint]:
+    """Ablation X10 — the initiators' positive ratio θ (paper fixes 0.5).
+
+    θ controls how much contradictory information circulates: θ = 1
+    (all initiators agree) produces no opposing opinions, hence almost
+    no flips; θ = 0.5 maximises conflict.
+    """
+    return sweep_workload_parameter(
+        "positive_ratio",
+        thetas,
+        lambda: RID(RIDConfig(beta=beta)),
+        base_config=WorkloadConfig(dataset=dataset, scale=scale, seed=seed),
+    )
+
+
+def main(seed: int = 7, scale: float = 0.005) -> None:
+    """Run and print the sweep-based ablations."""
+    print(render_oracle_k(run_oracle_k_ablation(scale=scale, seed=seed)))
+    print()
+    print(render_sweep("theta", run_theta_sweep(scale=scale, seed=seed)))

@@ -1,0 +1,121 @@
+"""Workload construction: the paper's simulate-then-detect setup.
+
+Sec. IV-B3, end to end: synthesise the signed social network → reverse
+it into the diffusion network → weight diffusion links by Jaccard
+coefficients (uniform ``[0, 0.1]`` fill for zero scores) → plant ``N``
+random initiators with positive ratio θ → run MFC until quiescence →
+hand the resulting infected network to the detectors, with the planted
+initiators as ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.diffusion.base import DiffusionResult
+from repro.diffusion.mfc import MFCModel
+from repro.diffusion.seeds import plant_random_initiators
+from repro.experiments.config import WorkloadConfig
+from repro.graphs.generators.snapshot_like import (
+    EPINIONS_PROFILE,
+    SLASHDOT_PROFILE,
+    WIKI_ELEC_PROFILE,
+    generate_profiled_network,
+)
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.graphs.transforms import to_diffusion_network
+from repro.types import Node, NodeState
+from repro.utils.rng import derive_seed
+from repro.weights.jaccard import assign_jaccard_weights, calibrate_gain
+
+_PROFILES = {
+    "epinions": EPINIONS_PROFILE,
+    "slashdot": SLASHDOT_PROFILE,
+    "wiki-elec": WIKI_ELEC_PROFILE,
+}
+
+
+def dataset_profile(name: str):
+    """The :class:`DatasetProfile` behind a dataset name.
+
+    Raises:
+        KeyError: for unknown dataset names.
+    """
+    return _PROFILES[name]
+
+
+@dataclass
+class Workload:
+    """A fully materialised simulate-then-detect world.
+
+    Attributes:
+        config: the generating configuration.
+        social: the synthesised signed social network.
+        diffusion: the weighted signed diffusion network (reversed,
+            Jaccard-weighted).
+        seeds: planted ground-truth initiators with their initial states.
+        cascade: the MFC simulation outcome.
+        infected: the infected diffusion network ``G_I`` handed to
+            detectors.
+    """
+
+    config: WorkloadConfig
+    social: SignedDiGraph
+    diffusion: SignedDiGraph
+    seeds: Dict[Node, NodeState]
+    cascade: DiffusionResult
+    infected: SignedDiGraph
+
+    def ground_truth_states(self) -> Dict[Node, NodeState]:
+        """Planted initiator states (the Fig. 6 reference)."""
+        return dict(self.seeds)
+
+
+def build_network(config: WorkloadConfig) -> SignedDiGraph:
+    """Synthesise the social network for ``config`` (deterministic)."""
+    profile = _PROFILES[config.dataset]
+    return generate_profiled_network(
+        profile, scale=config.scale, rng=derive_seed(config.seed, "network")
+    )
+
+
+def build_workload(config: WorkloadConfig, trial: int = 0) -> Workload:
+    """Materialise one world; ``trial`` derives an independent stream.
+
+    The network topology is shared across trials of the same config (the
+    paper evaluates repeated infections of the same datasets); initiator
+    placement and cascade randomness vary per trial.
+    """
+    config.validate()
+    social = build_network(config)
+    diffusion = to_diffusion_network(social)
+    gain = config.jaccard_gain
+    if gain is None:
+        gain = _PROFILES[config.dataset].default_jaccard_gain
+    elif gain == "auto":
+        gain = calibrate_gain(social, alpha=config.alpha)
+    assign_jaccard_weights(
+        diffusion,
+        social,
+        zero_fill_range=config.jaccard_zero_fill,
+        rng=derive_seed(config.seed, "weights"),
+        gain=gain,
+    )
+    seeds = plant_random_initiators(
+        diffusion,
+        count=min(config.resolved_num_initiators(), diffusion.number_of_nodes()),
+        positive_ratio=config.positive_ratio,
+        rng=derive_seed(config.seed, "seeds", trial),
+    )
+    model = MFCModel(alpha=config.alpha)
+    cascade = model.run(diffusion, seeds, rng=derive_seed(config.seed, "cascade", trial))
+    infected = cascade.infected_network(diffusion)
+    return Workload(
+        config=config,
+        social=social,
+        diffusion=diffusion,
+        seeds=seeds,
+        cascade=cascade,
+        infected=infected,
+    )

@@ -1,0 +1,94 @@
+"""Centrality-based source detectors (unsigned classics, per component).
+
+Each detector scores every node of each infected connected component and
+nominates the per-component argmax as an initiator — the classic
+single-source assumption applied component-wise, giving them at least a
+fighting chance on multi-initiator snapshots.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Dict
+
+from repro.core.baselines import DetectionResult, Detector
+from repro.core.components import infected_components
+from repro.extensions.rumor_centrality import bfs_tree, rumor_centralities
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import Node
+
+
+def undirected_distances(graph: SignedDiGraph, source: Node) -> Dict[Node, int]:
+    """BFS hop distances from ``source`` over the undirected view."""
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances
+
+
+class CentralityDetector(Detector):
+    """Shared per-component argmax scaffolding."""
+
+    name = "centrality"
+
+    @abc.abstractmethod
+    def score_component(self, component: SignedDiGraph) -> Dict[Node, float]:
+        """Score every node of one component; higher = more source-like."""
+
+    def detect(self, infected: SignedDiGraph) -> DetectionResult:
+        initiators = set()
+        for component in infected_components(infected):
+            scores = self.score_component(component)
+            if scores:
+                best = max(sorted(scores, key=repr), key=lambda n: scores[n])
+                initiators.add(best)
+        return DetectionResult(method=self.name, initiators=initiators)
+
+
+class RumorCentralityDetector(CentralityDetector):
+    """Shah-Zaman rumor center of each component (BFS-tree heuristic)."""
+
+    name = "rumor-centrality"
+
+    def score_component(self, component: SignedDiGraph) -> Dict[Node, float]:
+        nodes = sorted(component.nodes(), key=repr)
+        if len(nodes) == 1:
+            return {nodes[0]: 0.0}
+        scores: Dict[Node, float] = {}
+        for node in nodes:
+            tree = bfs_tree(component, node)
+            scores[node] = rumor_centralities(tree)[node]
+        return scores
+
+
+class JordanCenterDetector(CentralityDetector):
+    """Node minimising the maximum hop distance to infected nodes."""
+
+    name = "jordan-center"
+
+    def score_component(self, component: SignedDiGraph) -> Dict[Node, float]:
+        scores: Dict[Node, float] = {}
+        for node in component.nodes():
+            distances = undirected_distances(component, node)
+            eccentricity = max(distances.values()) if distances else 0
+            scores[node] = -float(eccentricity)
+        return scores
+
+
+class DistanceCenterDetector(CentralityDetector):
+    """Node minimising the summed hop distance to infected nodes."""
+
+    name = "distance-center"
+
+    def score_component(self, component: SignedDiGraph) -> Dict[Node, float]:
+        scores: Dict[Node, float] = {}
+        for node in component.nodes():
+            distances = undirected_distances(component, node)
+            scores[node] = -float(sum(distances.values()))
+        return scores

@@ -1,0 +1,168 @@
+"""Structural-balance analysis for signed networks.
+
+Heider/Cartwright-Harary structural balance is the organising theory of
+signed social networks (the paper's Sec. I cites the signed-network
+measurement literature built on it). This module provides the classic
+diagnostics:
+
+* triangle census by sign pattern (+++ / ++- / +-- / ---);
+* the balance ratio (fraction of balanced triangles);
+* a two-faction partition heuristic with its frustration count — the
+  number of edges violating the partition (an upper bound on the
+  frustration index);
+* per-node balance degree.
+
+All computations use the undirected view of the signed graph (balance is
+an undirected notion); when both directions of a pair exist with
+different signs, the lexicographically-first direction wins, matching
+:func:`repro.graphs.stats.triangle_balance_counts`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import Node
+
+
+def _undirected_signs(graph: SignedDiGraph) -> Dict[Node, Dict[Node, int]]:
+    """Undirected signed adjacency (deterministic direction tie-break)."""
+    adjacency: Dict[Node, Dict[Node, int]] = {node: {} for node in graph.nodes()}
+    for u, v, data in graph.iter_edges():
+        if u == v:
+            continue
+        a, b = (u, v) if repr(u) <= repr(v) else (v, u)
+        if b not in adjacency[a]:
+            adjacency[a][b] = int(data.sign)
+            adjacency[b][a] = int(data.sign)
+    return adjacency
+
+
+@dataclass
+class TriangleCensus:
+    """Signed triangle counts by number of negative edges."""
+
+    all_positive: int          # +++  balanced
+    one_negative: int          # ++-  unbalanced
+    two_negative: int          # +--  balanced
+    all_negative: int          # ---  unbalanced
+
+    @property
+    def total(self) -> int:
+        """Total triangle count."""
+        return (
+            self.all_positive + self.one_negative + self.two_negative + self.all_negative
+        )
+
+    @property
+    def balanced(self) -> int:
+        """Triangles with an even number of negative edges."""
+        return self.all_positive + self.two_negative
+
+    @property
+    def balance_ratio(self) -> float:
+        """Fraction of balanced triangles (1.0 for triangle-free graphs)."""
+        return self.balanced / self.total if self.total else 1.0
+
+
+def triangle_census(graph: SignedDiGraph) -> TriangleCensus:
+    """Count undirected signed triangles by sign pattern."""
+    adjacency = _undirected_signs(graph)
+    order = sorted(adjacency, key=repr)
+    index = {node: i for i, node in enumerate(order)}
+    counts = [0, 0, 0, 0]  # by number of negative edges
+    for a in order:
+        for b, sign_ab in adjacency[a].items():
+            if index[b] <= index[a]:
+                continue
+            for c, sign_bc in adjacency[b].items():
+                if index[c] <= index[b] or c not in adjacency[a]:
+                    continue
+                negatives = sum(
+                    1 for s in (sign_ab, sign_bc, adjacency[a][c]) if s < 0
+                )
+                counts[negatives] += 1
+    return TriangleCensus(*counts)
+
+
+def node_balance_degree(graph: SignedDiGraph, node: Node) -> float:
+    """Fraction of triangles through ``node`` that are balanced (1.0 if none)."""
+    adjacency = _undirected_signs(graph)
+    neighbors = sorted(adjacency.get(node, {}), key=repr)
+    balanced = total = 0
+    for i, b in enumerate(neighbors):
+        for c in neighbors[i + 1:]:
+            if c in adjacency[b]:
+                total += 1
+                product = adjacency[node][b] * adjacency[node][c] * adjacency[b][c]
+                if product > 0:
+                    balanced += 1
+    return balanced / total if total else 1.0
+
+
+def two_faction_partition(graph: SignedDiGraph) -> Tuple[Set[Node], Set[Node], int]:
+    """Greedy two-colouring: friends together, enemies apart.
+
+    BFS-propagates faction labels (same side across positive edges,
+    opposite across negative); conflicting constraints are resolved in
+    favour of the earlier assignment and counted as *frustrated*.
+
+    Returns:
+        ``(faction_a, faction_b, frustrated_edges)`` — the frustration
+        count is an upper bound on the graph's frustration index, and 0
+        iff the (connected) graph is perfectly balanced.
+    """
+    adjacency = _undirected_signs(graph)
+    side: Dict[Node, int] = {}
+    for start in sorted(adjacency, key=repr):
+        if start in side:
+            continue
+        side[start] = 0
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbor, sign in adjacency[node].items():
+                wanted = side[node] if sign > 0 else 1 - side[node]
+                if neighbor not in side:
+                    side[neighbor] = wanted
+                    queue.append(neighbor)
+    frustrated = 0
+    for a in sorted(adjacency, key=repr):
+        for b, sign in adjacency[a].items():
+            if repr(b) <= repr(a):
+                continue
+            same = side[a] == side[b]
+            if (sign > 0) != same:
+                frustrated += 1
+    faction_a = {node for node, s in side.items() if s == 0}
+    faction_b = {node for node, s in side.items() if s == 1}
+    return faction_a, faction_b, frustrated
+
+
+def is_balanced(graph: SignedDiGraph) -> bool:
+    """True when a conflict-free two-faction partition exists.
+
+    Unlike the greedy frustration count (which only upper-bounds), this
+    is exact: a signed graph is balanced iff BFS two-colouring never
+    meets a contradiction.
+    """
+    adjacency = _undirected_signs(graph)
+    side: Dict[Node, int] = {}
+    for start in sorted(adjacency, key=repr):
+        if start in side:
+            continue
+        side[start] = 0
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbor, sign in adjacency[node].items():
+                wanted = side[node] if sign > 0 else 1 - side[node]
+                if neighbor not in side:
+                    side[neighbor] = wanted
+                    queue.append(neighbor)
+                elif side[neighbor] != wanted:
+                    return False
+    return True

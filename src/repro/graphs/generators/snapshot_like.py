@@ -1,0 +1,220 @@
+"""Generators calibrated to the paper's evaluation datasets.
+
+The paper evaluates on the public SNAP datasets **soc-sign-epinions**
+(131,828 nodes / 841,372 directed signed links) and **soc-sign-Slashdot**
+(77,350 / 516,575). This sandbox has no network access, so — per the
+substitution policy in DESIGN.md §3 — we generate synthetic networks
+matched to the published structural statistics of those datasets:
+
+* node/edge counts (down-scalable via ``scale`` for laptop runs),
+* positive-link fraction (≈85% Epinions, ≈77% Slashdot, from
+  Leskovec-Huttenlocher-Kleinberg's measurements of the same files),
+* heavy-tailed in/out degree via preferential attachment,
+* reciprocity (Slashdot's friend/foe links are largely mutual; Epinions
+  trust links are less so).
+
+Sign assignment is *status-correlated*: high in-degree ("reputable")
+targets receive positive links with elevated probability, echoing the
+generative picture in the signed-network measurement literature. What
+matters for reproducing the paper's *shape* is the heavy-tail topology and
+the sign mix, both of which are matched; the real SNAP files can be dropped
+in through :func:`repro.graphs.io.read_snap_signed_edgelist` unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.utils.rng import RandomSource, spawn_rng
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Structural fingerprint of a signed-network dataset.
+
+    Attributes:
+        name: dataset label (used as graph name).
+        num_nodes: node count of the full dataset.
+        num_edges: directed signed link count of the full dataset.
+        positive_fraction: fraction of +1 links.
+        reciprocity: target fraction of edges with a reverse edge.
+        status_bias: how strongly link sign correlates with target
+            in-degree (0 = independent; 1 = strongly status-driven).
+        triadic_closure: probability a new edge targets a
+            friend-of-friend instead of a preferential/uniform draw.
+            Trust networks are strongly clustered (Epinions' clustering
+            coefficient is ~0.26), and this clustering is what gives the
+            Jaccard edge weights of Sec. IV-B3 their non-trivial values.
+    """
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    positive_fraction: float
+    reciprocity: float
+    status_bias: float = 0.5
+    triadic_closure: float = 0.45
+    #: Default Jaccard-deflation compensation for experiments at the
+    #: standard 1% scale (see repro.weights.jaccard.assign_jaccard_weights
+    #: and DESIGN.md §3); calibrated per dataset so that the boosted
+    #: activation-probability distribution matches the saturated regime
+    #: the paper's β range implies.
+    default_jaccard_gain: float = 8.0
+
+
+#: soc-sign-epinions: 131,828 nodes, 841,372 links (Table II), ~85% positive.
+EPINIONS_PROFILE = DatasetProfile(
+    name="epinions",
+    num_nodes=131_828,
+    num_edges=841_372,
+    positive_fraction=0.853,
+    reciprocity=0.31,
+    status_bias=0.6,
+    default_jaccard_gain=16.0,
+)
+
+#: soc-sign-Slashdot: 77,350 nodes, 516,575 links (Table II), ~77% positive.
+SLASHDOT_PROFILE = DatasetProfile(
+    name="slashdot",
+    num_nodes=77_350,
+    num_edges=516_575,
+    positive_fraction=0.766,
+    reciprocity=0.84,
+    status_bias=0.4,
+    default_jaccard_gain=8.0,
+)
+
+#: wiki-Elec (Wikipedia adminship votes): 7,118 nodes, 103,747 signed
+#: links, ~78% positive, essentially no reciprocity (votes are one-way).
+#: Not part of the paper's Table II, but the third classic signed
+#: network of the measurement literature — included for generality.
+WIKI_ELEC_PROFILE = DatasetProfile(
+    name="wiki-elec",
+    num_nodes=7_118,
+    num_edges=103_747,
+    positive_fraction=0.784,
+    reciprocity=0.06,
+    status_bias=0.7,
+    triadic_closure=0.55,
+    default_jaccard_gain=8.0,
+)
+
+
+def generate_profiled_network(
+    profile: DatasetProfile,
+    scale: float = 1.0,
+    rng: RandomSource = None,
+) -> SignedDiGraph:
+    """Generate a signed directed network matching ``profile``.
+
+    The construction is a directed preferential-attachment process:
+    node ``u`` arrives and points ``m ≈ E/N`` edges at earlier nodes chosen
+    preferentially by in-degree (heavy-tail in-degree) with a uniform
+    escape hatch (so low-degree nodes stay reachable). Each edge is
+    reciprocated with probability tuned to hit the profile's reciprocity.
+    Signs are drawn positive with a probability modulated by the target's
+    current in-degree rank (status-correlated signs).
+
+    Args:
+        profile: target structural fingerprint.
+        scale: linear scale on the node count; edge count scales along
+            (``scale=0.01`` gives a ~1% miniature with the same shape).
+        rng: seed or generator.
+
+    Returns:
+        A :class:`SignedDiGraph` named after the profile.
+
+    Raises:
+        ConfigError: if ``scale`` is not positive.
+    """
+    if scale <= 0:
+        raise ConfigError(f"scale must be > 0, got {scale}")
+    random = spawn_rng(rng, f"profile-{profile.name}")
+    n = max(2, int(round(profile.num_nodes * scale)))
+    target_edges = max(1, int(round(profile.num_edges * scale)))
+    mean_out = target_edges / n
+
+    graph = SignedDiGraph(name=profile.name)
+    graph.add_nodes(range(n))
+    # Preferential pool: node ids appear once per in-edge received (+1 base).
+    pool = [0, 1]
+    graph_edges_target = target_edges
+    recip_p = profile.reciprocity
+
+    def draw_sign(target: object) -> int:
+        """Positive with probability boosted for high-in-degree targets."""
+        base = profile.positive_fraction
+        indeg = graph.in_degree(target)
+        # Smooth status boost: saturating in log of in-degree.
+        boost = profile.status_bias * (math.log1p(indeg) / 10.0)
+        p = min(0.99, base * (1.0 - profile.status_bias * 0.1) + boost)
+        return 1 if random.random() < p else -1
+
+    def draw_weight() -> float:
+        # Placeholder; experiments overwrite with Jaccard weighting.
+        return 0.05 + 0.95 * random.random()
+
+    edges_added = 0
+    u = 1
+    while edges_added < graph_edges_target:
+        u = (u + 1) % n
+        if u < 2:
+            continue
+        # Stochastic rounding of the per-node out-degree.
+        m_frac = mean_out
+        m = int(m_frac) + (1 if random.random() < (m_frac - int(m_frac)) else 0)
+        m = max(1, min(m, u))
+        chosen = set()
+        attempts = 0
+        while len(chosen) < m and attempts < 20 * m:
+            attempts += 1
+            v = None
+            # Triadic closure: follow a friend-of-friend to build the
+            # clustered neighbourhoods real trust networks exhibit.
+            # (`chosen` is included: u's edges from this batch are not in
+            # the graph yet but are valid closure anchors.)
+            if random.random() < profile.triadic_closure:
+                my_targets = graph.successors(u) + sorted(chosen)
+                if my_targets:
+                    w = my_targets[random.randrange(len(my_targets))]
+                    their_targets = graph.successors(w)
+                    if their_targets:
+                        v = their_targets[random.randrange(len(their_targets))]
+            if v is None:
+                if random.random() < 0.2 or not pool:
+                    v = random.randrange(u)
+                else:
+                    v = pool[random.randrange(len(pool))]
+                    if v >= u:
+                        v = random.randrange(u)
+            if v != u and v not in chosen and not graph.has_edge(u, v):
+                chosen.add(v)
+        for v in chosen:
+            graph.add_edge(u, v, draw_sign(v), draw_weight())
+            pool.append(v)
+            edges_added += 1
+            if random.random() < recip_p and not graph.has_edge(v, u):
+                graph.add_edge(v, u, draw_sign(u), draw_weight())
+                pool.append(u)
+                edges_added += 1
+            if edges_added >= graph_edges_target:
+                break
+    return graph
+
+
+def generate_epinions_like(scale: float = 0.01, rng: RandomSource = None) -> SignedDiGraph:
+    """An Epinions-shaped signed network at the given scale (default 1%)."""
+    return generate_profiled_network(EPINIONS_PROFILE, scale=scale, rng=rng)
+
+
+def generate_slashdot_like(scale: float = 0.01, rng: RandomSource = None) -> SignedDiGraph:
+    """A Slashdot-shaped signed network at the given scale (default 1%)."""
+    return generate_profiled_network(SLASHDOT_PROFILE, scale=scale, rng=rng)
+
+
+def generate_wiki_elec_like(scale: float = 0.1, rng: RandomSource = None) -> SignedDiGraph:
+    """A wiki-Elec-shaped signed network (default 10% — it is small)."""
+    return generate_profiled_network(WIKI_ELEC_PROFILE, scale=scale, rng=rng)

@@ -1,0 +1,364 @@
+"""A weighted signed directed graph, built from scratch.
+
+This is the substrate for everything in the library. It realises the
+paper's Definition 1 (weighted signed social network
+``G = (V, E, s, w)`` with ``s: E -> {-1,+1}`` and ``w: E -> [0,1]``) and
+additionally carries per-node **states** so the same structure can
+represent infected snapshots (Definition 3) without a parallel dict in
+every caller.
+
+Design notes
+------------
+* Adjacency is dict-of-dict in both directions (``_succ`` and ``_pred``
+  share :class:`EdgeData` objects), giving O(1) edge lookup and O(deg)
+  neighbourhood iteration — the shape every algorithm here needs.
+* Node states default to :attr:`NodeState.INACTIVE`; infected snapshots
+  set them explicitly. States deliberately live on the graph because the
+  ISOMIT input *is* a graph-with-states.
+* Mutating iterators are never handed out: ``nodes()``/``edges()`` return
+  lists or iterate over snapshots where mutation during iteration would
+  corrupt internal maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import (
+    EdgeNotFoundError,
+    NodeNotFoundError,
+)
+from repro.types import Node, NodeState, Sign
+from repro.utils.validation import check_sign_value, check_weight
+
+
+@dataclass
+class EdgeData:
+    """Payload of one directed signed link: its polarity and weight."""
+
+    sign: Sign
+    weight: float
+
+    def copy(self) -> "EdgeData":
+        """Return an independent copy of this payload."""
+        return EdgeData(self.sign, self.weight)
+
+
+class SignedDiGraph:
+    """A directed graph with signed, weighted edges and stateful nodes.
+
+    Example:
+        >>> g = SignedDiGraph()
+        >>> g.add_edge("alice", "bob", sign=+1, weight=0.8)
+        >>> g.sign("alice", "bob")
+        <Sign.POSITIVE: 1>
+        >>> g.weight("alice", "bob")
+        0.8
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._succ: Dict[Node, Dict[Node, EdgeData]] = {}
+        self._pred: Dict[Node, Dict[Node, EdgeData]] = {}
+        self._state: Dict[Node, NodeState] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(list(self._succ))
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<SignedDiGraph{label}: {self.number_of_nodes()} nodes, "
+            f"{self.number_of_edges()} edges>"
+        )
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Node, state: NodeState = NodeState.INACTIVE) -> None:
+        """Add ``node`` (idempotent). An existing node's state is preserved."""
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+            self._state[node] = NodeState(state)
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Add many nodes at once."""
+        for node in nodes:
+            self.add_node(node)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every incident edge.
+
+        Raises:
+            NodeNotFoundError: if the node is absent.
+        """
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        for v in list(self._succ[node]):
+            self.remove_edge(node, v)
+        for u in list(self._pred[node]):
+            self.remove_edge(u, node)
+        del self._succ[node]
+        del self._pred[node]
+        del self._state[node]
+
+    def has_node(self, node: Node) -> bool:
+        """True if ``node`` is present."""
+        return node in self._succ
+
+    def nodes(self) -> List[Node]:
+        """All nodes, as a list safe to mutate against."""
+        return list(self._succ)
+
+    def number_of_nodes(self) -> int:
+        """Count of nodes."""
+        return len(self._succ)
+
+    # ------------------------------------------------------------------
+    # Node states
+    # ------------------------------------------------------------------
+
+    def state(self, node: Node) -> NodeState:
+        """The opinion state of ``node``.
+
+        Raises:
+            NodeNotFoundError: if the node is absent.
+        """
+        try:
+            return self._state[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def set_state(self, node: Node, state: NodeState) -> None:
+        """Set the opinion state of an existing node."""
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        self._state[node] = NodeState(state)
+
+    def set_states(self, states: Dict[Node, NodeState]) -> None:
+        """Bulk state assignment."""
+        for node, state in states.items():
+            self.set_state(node, state)
+
+    def states(self) -> Dict[Node, NodeState]:
+        """A copy of the full node→state map."""
+        return dict(self._state)
+
+    def active_nodes(self) -> List[Node]:
+        """Nodes holding a definite opinion (state in ``{-1,+1}``)."""
+        return [n for n, s in self._state.items() if s.is_active]
+
+    def reset_states(self, state: NodeState = NodeState.INACTIVE) -> None:
+        """Set every node's state to ``state`` (default: inactive)."""
+        for node in self._state:
+            self._state[node] = NodeState(state)
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+
+    def add_edge(self, u: Node, v: Node, sign: int, weight: float) -> None:
+        """Add (or overwrite) the directed edge ``u -> v``.
+
+        Endpoints are created if missing. Self-loops are allowed by the
+        structure but never produced by the generators in this package.
+
+        Args:
+            u: source node.
+            v: target node.
+            sign: ``+1`` or ``-1``.
+            weight: in ``[0, 1]``.
+        """
+        data = EdgeData(
+            Sign.from_value(check_sign_value(sign)),
+            check_weight(weight, context=f"weight of edge ({u!r}->{v!r})"),
+        )
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._succ[u]:
+            self._num_edges += 1
+        self._succ[u][v] = data
+        self._pred[v][u] = data
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the directed edge ``u -> v``.
+
+        Raises:
+            EdgeNotFoundError: if the edge is absent.
+        """
+        try:
+            del self._succ[u][v]
+            del self._pred[v][u]
+        except KeyError:
+            raise EdgeNotFoundError(u, v) from None
+        self._num_edges -= 1
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """True if the directed edge ``u -> v`` exists."""
+        return u in self._succ and v in self._succ[u]
+
+    def edge(self, u: Node, v: Node) -> EdgeData:
+        """The :class:`EdgeData` payload of ``u -> v``.
+
+        Raises:
+            EdgeNotFoundError: if the edge is absent.
+        """
+        try:
+            return self._succ[u][v]
+        except KeyError:
+            raise EdgeNotFoundError(u, v) from None
+
+    def sign(self, u: Node, v: Node) -> Sign:
+        """Sign of ``u -> v`` (paper notation ``s(u, v)``)."""
+        return self.edge(u, v).sign
+
+    def weight(self, u: Node, v: Node) -> float:
+        """Weight of ``u -> v`` (paper notation ``w(u, v)``)."""
+        return self.edge(u, v).weight
+
+    def set_weight(self, u: Node, v: Node, weight: float) -> None:
+        """Overwrite the weight of an existing edge."""
+        self.edge(u, v).weight = check_weight(weight)
+
+    def edges(self) -> List[Tuple[Node, Node, EdgeData]]:
+        """All edges as ``(u, v, data)`` triples."""
+        return [
+            (u, v, data)
+            for u, targets in self._succ.items()
+            for v, data in targets.items()
+        ]
+
+    def iter_edges(self) -> Iterator[Tuple[Node, Node, EdgeData]]:
+        """Lazily iterate edges; do not mutate the graph while iterating."""
+        for u, targets in self._succ.items():
+            for v, data in targets.items():
+                yield u, v, data
+
+    def number_of_edges(self) -> int:
+        """Count of directed edges."""
+        return self._num_edges
+
+    # ------------------------------------------------------------------
+    # Neighbourhoods and degrees
+    # ------------------------------------------------------------------
+
+    def successors(self, node: Node) -> List[Node]:
+        """Targets of out-edges of ``node`` (paper: who ``node`` can reach)."""
+        try:
+            return list(self._succ[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def predecessors(self, node: Node) -> List[Node]:
+        """Sources of in-edges of ``node``."""
+        try:
+            return list(self._pred[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def out_edges(self, node: Node) -> List[Tuple[Node, Node, EdgeData]]:
+        """Out-edges of ``node`` as ``(node, v, data)`` triples."""
+        try:
+            return [(node, v, data) for v, data in self._succ[node].items()]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def in_edges(self, node: Node) -> List[Tuple[Node, Node, EdgeData]]:
+        """In-edges of ``node`` as ``(u, node, data)`` triples."""
+        try:
+            return [(u, node, data) for u, data in self._pred[node].items()]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def out_degree(self, node: Node) -> int:
+        """Number of out-edges of ``node``."""
+        try:
+            return len(self._succ[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def in_degree(self, node: Node) -> int:
+        """Number of in-edges of ``node``."""
+        try:
+            return len(self._pred[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def degree(self, node: Node) -> int:
+        """Total degree (in + out)."""
+        return self.in_degree(node) + self.out_degree(node)
+
+    def neighbors(self, node: Node) -> List[Node]:
+        """Undirected neighbourhood: union of successors and predecessors."""
+        try:
+            merged = set(self._succ[node]) | set(self._pred[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+        return list(merged)
+
+    # ------------------------------------------------------------------
+    # Whole-graph operations
+    # ------------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "SignedDiGraph":
+        """Deep copy (edge payloads duplicated, states preserved)."""
+        clone = SignedDiGraph(name if name is not None else self.name)
+        for node in self._succ:
+            clone.add_node(node, self._state[node])
+        for u, v, data in self.iter_edges():
+            clone.add_edge(u, v, int(data.sign), data.weight)
+        return clone
+
+    def reverse(self, name: Optional[str] = None) -> "SignedDiGraph":
+        """A new graph with every edge direction flipped (Definition 2).
+
+        Signs, weights and node states carry over unchanged.
+        """
+        rev = SignedDiGraph(name if name is not None else f"{self.name}-reversed")
+        for node in self._succ:
+            rev.add_node(node, self._state[node])
+        for u, v, data in self.iter_edges():
+            rev.add_edge(v, u, int(data.sign), data.weight)
+        return rev
+
+    def subgraph(self, nodes: Iterable[Node], name: str = "") -> "SignedDiGraph":
+        """Induced subgraph over ``nodes`` (states preserved).
+
+        Raises:
+            NodeNotFoundError: if any requested node is absent.
+        """
+        keep = set()
+        for node in nodes:
+            if node not in self._succ:
+                raise NodeNotFoundError(node)
+            keep.add(node)
+        sub = SignedDiGraph(name)
+        for node in keep:
+            sub.add_node(node, self._state[node])
+        for u in keep:
+            for v, data in self._succ[u].items():
+                if v in keep:
+                    sub.add_edge(u, v, int(data.sign), data.weight)
+        return sub
+
+    def positive_edges(self) -> List[Tuple[Node, Node, EdgeData]]:
+        """Edges with sign ``+1``."""
+        return [(u, v, d) for u, v, d in self.iter_edges() if d.sign is Sign.POSITIVE]
+
+    def negative_edges(self) -> List[Tuple[Node, Node, EdgeData]]:
+        """Edges with sign ``-1``."""
+        return [(u, v, d) for u, v, d in self.iter_edges() if d.sign is Sign.NEGATIVE]

@@ -1,0 +1,23 @@
+"""Influence maximization under signed diffusion models.
+
+The forward problem to ISOMIT's inverse (the paper's Table I situates
+rumor-initiator detection against influence maximization in signed
+networks [17]). This subpackage implements the classic greedy framework
+on top of any :class:`~repro.diffusion.base.DiffusionModel` — notably
+MFC — with lazy-evaluation (CELF) acceleration and polarity-aware
+objectives (maximise total adopters, or the positive-opinion margin).
+"""
+
+from repro.influence.maximization import (
+    InfluenceObjective,
+    greedy_influence_maximization,
+    margin_objective,
+    spread_objective,
+)
+
+__all__ = [
+    "InfluenceObjective",
+    "greedy_influence_maximization",
+    "spread_objective",
+    "margin_objective",
+]

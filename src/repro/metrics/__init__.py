@@ -1,0 +1,29 @@
+"""Evaluation metrics (Sec. IV-B2).
+
+Identity metrics (detected initiators vs. ground truth): precision,
+recall, F1. State metrics (inferred vs. planted initial states, over the
+correctly identified initiators): accuracy, MAE, and the coefficient of
+determination R².
+"""
+
+from repro.metrics.identity import (
+    IdentityMetrics,
+    f1_score,
+    identity_metrics,
+    precision,
+    recall,
+)
+from repro.metrics.state import StateMetrics, accuracy, mean_absolute_error, r_squared, state_metrics
+
+__all__ = [
+    "IdentityMetrics",
+    "identity_metrics",
+    "precision",
+    "recall",
+    "f1_score",
+    "StateMetrics",
+    "state_metrics",
+    "accuracy",
+    "mean_absolute_error",
+    "r_squared",
+]

@@ -1,0 +1,57 @@
+"""Initiator-identity retrieval metrics: precision, recall, F1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set
+
+from repro.types import Node
+
+
+@dataclass
+class IdentityMetrics:
+    """Confusion counts plus the derived retrieval scores."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    precision: float
+    recall: float
+    f1: float
+
+
+def precision(predicted: Set[Node], truth: Set[Node]) -> float:
+    """|predicted ∩ truth| / |predicted| (0 when nothing was predicted)."""
+    if not predicted:
+        return 0.0
+    return len(predicted & truth) / len(predicted)
+
+
+def recall(predicted: Set[Node], truth: Set[Node]) -> float:
+    """|predicted ∩ truth| / |truth| (0 when the truth set is empty)."""
+    if not truth:
+        return 0.0
+    return len(predicted & truth) / len(truth)
+
+
+def f1_score(predicted: Set[Node], truth: Set[Node]) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    p = precision(predicted, truth)
+    r = recall(predicted, truth)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def identity_metrics(predicted: Iterable[Node], truth: Iterable[Node]) -> IdentityMetrics:
+    """Full confusion-count report for a detection."""
+    predicted_set, truth_set = set(predicted), set(truth)
+    tp = len(predicted_set & truth_set)
+    return IdentityMetrics(
+        true_positives=tp,
+        false_positives=len(predicted_set) - tp,
+        false_negatives=len(truth_set) - tp,
+        precision=precision(predicted_set, truth_set),
+        recall=recall(predicted_set, truth_set),
+        f1=f1_score(predicted_set, truth_set),
+    )

@@ -1,0 +1,94 @@
+"""Initiator-state inference metrics: accuracy, MAE, R² (Sec. IV-B2).
+
+Evaluated — as the paper prescribes — only over the *correctly
+identified* initiators: predicted initial states (±1) are compared with
+the planted ground-truth states (±1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.types import Node, NodeState
+
+
+@dataclass
+class StateMetrics:
+    """State-inference quality over correctly identified initiators.
+
+    Attributes:
+        evaluated: number of initiators the comparison covered.
+        accuracy: fraction of exactly matching states.
+        mae: mean absolute error between ±1 state values (each mismatch
+            contributes |(-1) - (+1)| = 2).
+        r2: coefficient of determination of predicted vs true values.
+    """
+
+    evaluated: int
+    accuracy: float
+    mae: float
+    r2: float
+
+
+def accuracy(predicted: Dict[Node, NodeState], truth: Dict[Node, NodeState]) -> float:
+    """Exact-match rate over the keys present in both maps (0 if none)."""
+    common = set(predicted) & set(truth)
+    if not common:
+        return 0.0
+    return sum(1 for n in common if predicted[n] == truth[n]) / len(common)
+
+
+def mean_absolute_error(
+    predicted: Dict[Node, NodeState], truth: Dict[Node, NodeState]
+) -> float:
+    """Mean |ŷ − y| over common keys with states as ±1 values (0 if none)."""
+    common = set(predicted) & set(truth)
+    if not common:
+        return 0.0
+    return sum(abs(int(predicted[n]) - int(truth[n])) for n in common) / len(common)
+
+
+def r_squared(predicted: Dict[Node, NodeState], truth: Dict[Node, NodeState]) -> float:
+    """Coefficient of determination ``1 − SS_res / SS_tot``.
+
+    Degenerate-case convention: when all true values are identical
+    (``SS_tot = 0``), returns 1.0 for a perfect prediction and 0.0
+    otherwise; an empty comparison returns 0.0.
+    """
+    common = sorted(set(predicted) & set(truth), key=repr)
+    if not common:
+        return 0.0
+    y = [float(int(truth[n])) for n in common]
+    y_hat = [float(int(predicted[n])) for n in common]
+    mean_y = sum(y) / len(y)
+    ss_tot = sum((v - mean_y) ** 2 for v in y)
+    ss_res = sum((v - p) ** 2 for v, p in zip(y, y_hat))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def state_metrics(
+    predicted: Dict[Node, NodeState],
+    truth: Dict[Node, NodeState],
+    restrict_to_correct: bool = True,
+) -> StateMetrics:
+    """Full state-inference report.
+
+    Args:
+        predicted: inferred initiator states.
+        truth: planted initiator states.
+        restrict_to_correct: keep the paper's convention of evaluating
+            only initiators present in both maps (always effectively true
+            since dict intersection is used; the flag documents intent).
+    """
+    common = set(predicted) & set(truth)
+    restricted_pred = {n: predicted[n] for n in common}
+    restricted_truth = {n: truth[n] for n in common}
+    return StateMetrics(
+        evaluated=len(common),
+        accuracy=accuracy(restricted_pred, restricted_truth),
+        mae=mean_absolute_error(restricted_pred, restricted_truth),
+        r2=r_squared(restricted_pred, restricted_truth),
+    )

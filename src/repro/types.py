@@ -1,0 +1,107 @@
+"""Shared primitive types for the signed-network rumor-detection library.
+
+The paper (Sec. II) works with three kinds of discrete labels:
+
+* **link signs** drawn from ``{-1, +1}`` — trust / distrust polarity of a
+  directed social or diffusion link;
+* **node states** drawn from ``{-1, +1, 0, ?}`` — a node's prevailing
+  opinion about the rumor (agree, disagree, no opinion yet, unknown);
+* **initial initiator states** drawn from ``{-1, +1}``.
+
+We model signs and states as :class:`enum.IntEnum` members whose integer
+values match the paper's notation exactly, so arithmetic identities from the
+paper — most importantly the MFC state-update rule
+``s(v) = s(u) * s_D(u, v)`` — can be written verbatim in code.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Hashable, Tuple
+
+#: Any hashable object can serve as a node identifier.
+Node = Hashable
+
+#: A directed edge is an ordered pair of nodes.
+Edge = Tuple[Node, Node]
+
+
+class Sign(enum.IntEnum):
+    """Polarity of a signed link: ``+1`` trust, ``-1`` distrust.
+
+    Because members are plain integers, products such as
+    ``Sign.POSITIVE * Sign.NEGATIVE == -1`` follow the paper's algebra.
+    """
+
+    POSITIVE = 1
+    NEGATIVE = -1
+
+    @classmethod
+    def from_value(cls, value: int) -> "Sign":
+        """Coerce an integer (``+1``/``-1``) into a :class:`Sign`.
+
+        Raises:
+            ValueError: if ``value`` is not ``+1`` or ``-1``.
+        """
+        if value == 1:
+            return cls.POSITIVE
+        if value == -1:
+            return cls.NEGATIVE
+        raise ValueError(f"link sign must be +1 or -1, got {value!r}")
+
+    def flipped(self) -> "Sign":
+        """Return the opposite polarity."""
+        return Sign.NEGATIVE if self is Sign.POSITIVE else Sign.POSITIVE
+
+
+class NodeState(enum.IntEnum):
+    """Opinion state of a node, per the paper's ``{-1, +1, 0, ?}`` alphabet.
+
+    ``UNKNOWN`` is encoded as ``2`` (an arbitrary integer outside the
+    arithmetic alphabet); it must never participate in the MFC state-update
+    product, and the helpers below guard against that.
+    """
+
+    POSITIVE = 1
+    NEGATIVE = -1
+    INACTIVE = 0
+    UNKNOWN = 2
+
+    @classmethod
+    def from_value(cls, value: int) -> "NodeState":
+        """Coerce an integer in ``{-1, 0, +1, 2}`` into a :class:`NodeState`."""
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"node state must be one of -1, 0, +1 (or 2 for unknown), got {value!r}"
+            ) from None
+
+    @property
+    def is_active(self) -> bool:
+        """True when the node holds a definite opinion (``+1`` or ``-1``)."""
+        return self in (NodeState.POSITIVE, NodeState.NEGATIVE)
+
+    @property
+    def is_opinionated(self) -> bool:
+        """Alias of :attr:`is_active`; reads better in likelihood code."""
+        return self.is_active
+
+    def times(self, sign: Sign) -> "NodeState":
+        """Apply the MFC propagation product ``s(v) = s(u) * s_D(u, v)``.
+
+        Only valid for active states; inactive/unknown states carry no
+        opinion to propagate.
+
+        Raises:
+            ValueError: if this state is not active.
+        """
+        if not self.is_active:
+            raise ValueError(
+                f"cannot propagate from non-opinionated state {self!r}"
+            )
+        return NodeState(int(self) * int(sign))
+
+
+#: States an initiator may be planted with (Sec. II-B: S in {-1,+1}^|I|).
+INITIATOR_STATES = (NodeState.POSITIVE, NodeState.NEGATIVE)

@@ -1,0 +1,80 @@
+"""Union-find (disjoint-set) with path compression and union by rank.
+
+Used by the connected-component detector and the Chu-Liu/Edmonds
+arborescence extractor (cycle contraction bookkeeping).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List
+
+
+class DisjointSet:
+    """A forest of disjoint sets over arbitrary hashable items.
+
+    Items are added lazily: :meth:`find` and :meth:`union` create singleton
+    sets for unseen items, so callers never need a separate ``make_set``.
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._count = 0
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        """Number of distinct sets currently in the forest."""
+        return self._count
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)
+
+    def add(self, item: Hashable) -> None:
+        """Ensure ``item`` exists as (at least) a singleton set."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+            self._count += 1
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the canonical representative of ``item``'s set."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets containing ``a`` and ``b``.
+
+        Returns:
+            True if a merge happened, False if they were already together.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """True when ``a`` and ``b`` currently share a set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> List[List[Hashable]]:
+        """Materialise the current partition as a list of member lists."""
+        buckets: Dict[Hashable, List[Hashable]] = {}
+        for item in self._parent:
+            buckets.setdefault(self.find(item), []).append(item)
+        return list(buckets.values())

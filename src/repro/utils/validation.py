@@ -1,0 +1,62 @@
+"""Input validators shared across the package.
+
+All validators raise the typed exceptions from :mod:`repro.errors` so that
+callers can distinguish bad weights from bad signs from bad probabilities.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidSignError, InvalidWeightError
+
+
+def check_weight(weight: float, context: str = "edge weight") -> float:
+    """Validate a link weight ``w`` in ``[0, 1]`` and return it as float.
+
+    Raises:
+        InvalidWeightError: on NaN or out-of-range values.
+    """
+    try:
+        value = float(weight)
+    except (TypeError, ValueError):
+        raise InvalidWeightError(f"{context} must be a real number, got {weight!r}") from None
+    if math.isnan(value) or not 0.0 <= value <= 1.0:
+        raise InvalidWeightError(f"{context} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_probability(p: float, context: str = "probability") -> float:
+    """Validate a probability in ``[0, 1]`` and return it as float."""
+    try:
+        value = float(p)
+    except (TypeError, ValueError):
+        raise ValueError(f"{context} must be a real number, got {p!r}") from None
+    if math.isnan(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{context} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_sign_value(sign: int, context: str = "link sign") -> int:
+    """Validate a link sign in ``{-1, +1}`` and return it as int."""
+    if sign not in (-1, 1):
+        raise InvalidSignError(f"{context} must be +1 or -1, got {sign!r}")
+    return int(sign)
+
+
+def check_state_value(state: int, context: str = "node state") -> int:
+    """Validate a node state in ``{-1, 0, +1, 2}`` and return it as int.
+
+    The value ``2`` encodes the paper's '?' (unknown) state.
+    """
+    if state not in (-1, 0, 1, 2):
+        raise ValueError(f"{context} must be one of -1, 0, +1, 2(unknown), got {state!r}")
+    return int(state)
+
+
+def check_positive(value: float, context: str = "value") -> float:
+    """Validate a strictly positive real number and return it as float."""
+    number = float(value)
+    if math.isnan(number) or number <= 0:
+        raise ValueError(f"{context} must be > 0, got {value!r}")
+    return number

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import NodeState
+
+
+@pytest.fixture
+def triangle() -> SignedDiGraph:
+    """A 3-node signed triangle: a->b (+), b->c (-), c->a (+)."""
+    g = SignedDiGraph(name="triangle")
+    g.add_edge("a", "b", 1, 0.5)
+    g.add_edge("b", "c", -1, 0.4)
+    g.add_edge("c", "a", 1, 0.9)
+    return g
+
+
+@pytest.fixture
+def small_cascade_tree() -> SignedDiGraph:
+    """A 5-node cascade tree with states consistent with MFC propagation.
+
+    Structure (root r, all states shown):
+
+        r(+) -+-> a(+)  via +0.5
+              +-> b(-)  via -0.4
+        a(+) ---> c(+)  via +0.9
+        b(-) ---> d(-)  via +0.3
+    """
+    t = SignedDiGraph(name="cascade")
+    t.add_edge("r", "a", 1, 0.5)
+    t.add_edge("r", "b", -1, 0.4)
+    t.add_edge("a", "c", 1, 0.9)
+    t.add_edge("b", "d", 1, 0.3)
+    t.set_states(
+        {
+            "r": NodeState.POSITIVE,
+            "a": NodeState.POSITIVE,
+            "b": NodeState.NEGATIVE,
+            "c": NodeState.POSITIVE,
+            "d": NodeState.NEGATIVE,
+        }
+    )
+    return t

@@ -1,0 +1,80 @@
+"""Differential tests: our Edmonds vs networkx's reference implementation.
+
+networkx is a test-only dependency; the library itself is dependency
+free. We compare total branching scores rather than edge sets (optimal
+branchings are generally non-unique).
+"""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arborescence import maximum_spanning_branching
+from repro.graphs.signed_digraph import SignedDiGraph
+
+
+@st.composite
+def weighted_digraphs(draw):
+    n = draw(st.integers(min_value=2, max_value=9))
+    graph = SignedDiGraph()
+    graph.add_nodes(range(n))
+    for u in range(n):
+        for v in range(n):
+            if u != v and draw(st.booleans()):
+                weight = draw(
+                    st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+                )
+                graph.add_edge(u, v, 1, round(weight, 4))
+    return graph
+
+
+def _our_solution(graph):
+    forest = maximum_spanning_branching(graph)
+    edges = [(u, v) for u, v, _ in forest.iter_edges()]
+    roots = graph.number_of_nodes() - len(edges)
+    score = sum(math.log(graph.weight(u, v)) for u, v in edges)
+    return roots, score
+
+
+def _networkx_solution(graph):
+    """Min-roots-then-max-log-likelihood branching via networkx.
+
+    networkx's ``maximum_branching`` maximises the plain weight sum and
+    happily leaves nodes parentless when all their in-edges have
+    negative transformed weight — exactly the virtual-root problem. We
+    level the field the same way: shift every log-weight by a constant
+    large enough that keeping an edge is always better than dropping it,
+    which simultaneously minimises the number of roots.
+    """
+    n = graph.number_of_nodes()
+    shift = 2.0 * n * 30.0
+    nx_graph = nx.DiGraph()
+    nx_graph.add_nodes_from(graph.nodes())
+    for u, v, data in graph.iter_edges():
+        nx_graph.add_edge(u, v, weight=math.log(data.weight) + shift)
+    branching = nx.maximum_branching(nx_graph)
+    edges = list(branching.edges())
+    roots = n - len(edges)
+    score = sum(math.log(graph.weight(u, v)) for u, v in edges)
+    return roots, score
+
+
+class TestAgainstNetworkx:
+    @given(weighted_digraphs())
+    @settings(max_examples=60, deadline=None)
+    def test_same_root_count_and_score(self, graph):
+        our_roots, our_score = _our_solution(graph)
+        nx_roots, nx_score = _networkx_solution(graph)
+        assert our_roots == nx_roots
+        assert our_score == pytest.approx(nx_score, abs=1e-6)
+
+    def test_known_instance(self):
+        graph = SignedDiGraph()
+        for u, v, w in [(0, 1, 0.516), (0, 2, 0.609), (1, 0, 0.321), (1, 2, 0.216), (2, 0, 0.61)]:
+            graph.add_edge(u, v, 1, w)
+        our_roots, our_score = _our_solution(graph)
+        nx_roots, nx_score = _networkx_solution(graph)
+        assert (our_roots, round(our_score, 6)) == (nx_roots, round(nx_score, 6))

@@ -1,0 +1,88 @@
+"""Property-based tests for structural-balance analysis."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.balance import (
+    is_balanced,
+    node_balance_degree,
+    triangle_census,
+    two_faction_partition,
+)
+from repro.graphs.signed_digraph import SignedDiGraph
+
+
+@st.composite
+def signed_graphs(draw):
+    n = draw(st.integers(min_value=0, max_value=10))
+    graph = SignedDiGraph()
+    graph.add_nodes(range(n))
+    for _ in range(draw(st.integers(min_value=0, max_value=25))):
+        u = draw(st.integers(min_value=0, max_value=max(n - 1, 0)))
+        v = draw(st.integers(min_value=0, max_value=max(n - 1, 0)))
+        if n and u != v:
+            graph.add_edge(u, v, draw(st.sampled_from([-1, 1])), 0.5)
+    return graph
+
+
+@st.composite
+def all_positive_graphs(draw):
+    graph = draw(signed_graphs())
+    positive = SignedDiGraph()
+    positive.add_nodes(graph.nodes())
+    for u, v, data in graph.iter_edges():
+        positive.add_edge(u, v, 1, data.weight)
+    return positive
+
+
+class TestBalanceProperties:
+    @given(signed_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_census_total_consistent(self, graph):
+        census = triangle_census(graph)
+        assert census.total == (
+            census.all_positive
+            + census.one_negative
+            + census.two_negative
+            + census.all_negative
+        )
+        assert 0.0 <= census.balance_ratio <= 1.0
+
+    @given(all_positive_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_all_positive_graphs_are_balanced(self, graph):
+        assert is_balanced(graph)
+        census = triangle_census(graph)
+        assert census.balance_ratio == 1.0
+        _, faction_b, frustrated = two_faction_partition(graph)
+        assert frustrated == 0
+        assert faction_b == set()  # everyone in one faction
+
+    @given(signed_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_zero_greedy_frustration_implies_balanced(self, graph):
+        _, _, frustrated = two_faction_partition(graph)
+        if frustrated == 0:
+            assert is_balanced(graph)
+
+    @given(signed_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_balanced_implies_zero_frustration(self, graph):
+        # On balanced graphs the BFS colouring is forced per component,
+        # so the greedy partition is exact.
+        if is_balanced(graph):
+            _, _, frustrated = two_faction_partition(graph)
+            assert frustrated == 0
+
+    @given(signed_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_partition_is_exhaustive_and_disjoint(self, graph):
+        faction_a, faction_b, _ = two_faction_partition(graph)
+        assert faction_a | faction_b == set(graph.nodes())
+        assert not faction_a & faction_b
+
+    @given(signed_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_node_balance_degree_bounds(self, graph):
+        for node in graph.nodes():
+            assert 0.0 <= node_balance_degree(graph, node) <= 1.0

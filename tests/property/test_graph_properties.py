@@ -1,0 +1,104 @@
+"""Property-based tests for the graph substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.graphs.stats import positive_fraction, reciprocity
+from repro.types import Sign
+
+
+@st.composite
+def signed_graphs(draw, max_nodes: int = 12):
+    """Random small signed digraphs."""
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    graph = SignedDiGraph()
+    graph.add_nodes(range(n))
+    if n >= 2:
+        num_edges = draw(st.integers(min_value=0, max_value=min(30, n * (n - 1))))
+        for _ in range(num_edges):
+            u = draw(st.integers(min_value=0, max_value=n - 1))
+            v = draw(st.integers(min_value=0, max_value=n - 1))
+            if u == v:
+                continue
+            sign = draw(st.sampled_from([-1, 1]))
+            weight = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+            graph.add_edge(u, v, sign, weight)
+    return graph
+
+
+class TestStructuralInvariants:
+    @given(signed_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sums_equal_edge_count(self, graph):
+        total_out = sum(graph.out_degree(v) for v in graph.nodes())
+        total_in = sum(graph.in_degree(v) for v in graph.nodes())
+        assert total_out == total_in == graph.number_of_edges()
+
+    @given(signed_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_edges_listing_consistent_with_lookup(self, graph):
+        for u, v, data in graph.edges():
+            assert graph.has_edge(u, v)
+            assert graph.edge(u, v) is data
+
+    @given(signed_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_succ_pred_are_mirror_views(self, graph):
+        for u, v, _ in graph.iter_edges():
+            assert u in graph.predecessors(v)
+            assert v in graph.successors(u)
+
+    @given(signed_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_reverse_is_involution(self, graph):
+        double = graph.reverse().reverse()
+        assert {(u, v) for u, v, _ in double.iter_edges()} == {
+            (u, v) for u, v, _ in graph.iter_edges()
+        }
+        for u, v, data in graph.iter_edges():
+            assert double.sign(u, v) is data.sign
+            assert double.weight(u, v) == data.weight
+
+    @given(signed_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_reverse_preserves_stats(self, graph):
+        rev = graph.reverse()
+        assert positive_fraction(rev) == positive_fraction(graph)
+        assert reciprocity(rev) == reciprocity(graph)
+
+    @given(signed_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_copy_equals_original(self, graph):
+        clone = graph.copy()
+        assert clone.number_of_nodes() == graph.number_of_nodes()
+        assert clone.number_of_edges() == graph.number_of_edges()
+        for u, v, data in graph.iter_edges():
+            assert clone.sign(u, v) is data.sign
+            assert clone.weight(u, v) == data.weight
+
+    @given(signed_graphs(), st.integers(min_value=0, max_value=11))
+    @settings(max_examples=40, deadline=None)
+    def test_remove_node_removes_all_incident_edges(self, graph, node):
+        if not graph.has_node(node):
+            return
+        graph.remove_node(node)
+        assert not graph.has_node(node)
+        for u, v, _ in graph.iter_edges():
+            assert u != node and v != node
+
+    @given(signed_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_subgraph_edge_subset(self, graph):
+        nodes = [n for n in graph.nodes() if isinstance(n, int) and n % 2 == 0]
+        sub = graph.subgraph(nodes)
+        for u, v, _ in sub.iter_edges():
+            assert graph.has_edge(u, v)
+            assert u in nodes and v in nodes
+
+    @given(signed_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_sign_partition(self, graph):
+        positives = len(graph.positive_edges())
+        negatives = len(graph.negative_edges())
+        assert positives + negatives == graph.number_of_edges()

@@ -1,0 +1,105 @@
+"""Property-based tests for masking and imputation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.imputation import impute_unknown_states, mask_states, observed_fraction
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import NodeState
+
+
+@st.composite
+def infected_snapshots(draw):
+    """Random snapshots with only active states (like real G_I inputs)."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    graph = SignedDiGraph()
+    for node in range(n):
+        graph.add_node(
+            node, draw(st.sampled_from([NodeState.POSITIVE, NodeState.NEGATIVE]))
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=30))):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            graph.add_edge(
+                u,
+                v,
+                draw(st.sampled_from([-1, 1])),
+                draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False)),
+            )
+    return graph
+
+
+class TestMaskingProperties:
+    @given(
+        infected_snapshots(),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_masked_count_matches_fraction(self, graph, fraction, seed):
+        masked = mask_states(graph, fraction, rng=seed)
+        unknown = sum(
+            1 for node in masked.nodes() if masked.state(node) is NodeState.UNKNOWN
+        )
+        assert unknown == int(round(fraction * graph.number_of_nodes()))
+
+    @given(
+        infected_snapshots(),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_observed_fraction_complements_mask(self, graph, fraction, seed):
+        masked = mask_states(graph, fraction, rng=seed)
+        n = graph.number_of_nodes()
+        expected = 1.0 - int(round(fraction * n)) / n
+        assert abs(observed_fraction(masked) - expected) < 1e-9
+
+
+class TestImputationProperties:
+    @given(
+        infected_snapshots(),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_unknowns_remain(self, graph, fraction, seed):
+        masked = mask_states(graph, fraction, rng=seed)
+        completed = impute_unknown_states(masked)
+        assert all(
+            completed.state(node) is not NodeState.UNKNOWN
+            for node in completed.nodes()
+        )
+
+    @given(
+        infected_snapshots(),
+        st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_known_states_preserved(self, graph, fraction, seed):
+        masked = mask_states(graph, fraction, rng=seed)
+        completed = impute_unknown_states(masked)
+        for node in masked.nodes():
+            if masked.state(node) is not NodeState.UNKNOWN:
+                assert completed.state(node) is masked.state(node)
+
+    @given(infected_snapshots())
+    @settings(max_examples=40, deadline=None)
+    def test_fully_observed_is_fixpoint(self, graph):
+        completed = impute_unknown_states(graph)
+        assert completed.states() == graph.states()
+
+    @given(
+        infected_snapshots(),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_structure_untouched(self, graph, fraction, seed):
+        masked = mask_states(graph, fraction, rng=seed)
+        completed = impute_unknown_states(masked)
+        assert {(u, v) for u, v, _ in completed.iter_edges()} == {
+            (u, v) for u, v, _ in graph.iter_edges()
+        }

@@ -1,0 +1,84 @@
+"""Property-based tests for metric identities."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.identity import f1_score, identity_metrics, precision, recall
+from repro.metrics.state import accuracy, mean_absolute_error, r_squared
+from repro.types import NodeState
+
+node_sets = st.sets(st.integers(min_value=0, max_value=30), max_size=15)
+state_maps = st.dictionaries(
+    st.integers(min_value=0, max_value=20),
+    st.sampled_from([NodeState.POSITIVE, NodeState.NEGATIVE]),
+    max_size=12,
+)
+
+
+class TestIdentityMetricProperties:
+    @given(node_sets, node_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, predicted, truth):
+        assert 0.0 <= precision(predicted, truth) <= 1.0
+        assert 0.0 <= recall(predicted, truth) <= 1.0
+        assert 0.0 <= f1_score(predicted, truth) <= 1.0
+
+    @given(node_sets, node_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_f1_between_min_and_max_of_p_r(self, predicted, truth):
+        p, r = precision(predicted, truth), recall(predicted, truth)
+        f1 = f1_score(predicted, truth)
+        assert f1 <= max(p, r) + 1e-12
+        if p > 0 and r > 0:
+            assert f1 >= min(p, r) - 1e-12
+
+    @given(node_sets, node_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_precision_recall_duality(self, predicted, truth):
+        # Swapping prediction and truth swaps precision and recall.
+        assert precision(predicted, truth) == recall(truth, predicted)
+
+    @given(node_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_self_detection_perfect(self, nodes):
+        if nodes:
+            m = identity_metrics(nodes, nodes)
+            assert m.precision == m.recall == m.f1 == 1.0
+
+    @given(node_sets, node_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_confusion_counts_sum(self, predicted, truth):
+        m = identity_metrics(predicted, truth)
+        assert m.true_positives + m.false_positives == len(predicted)
+        assert m.true_positives + m.false_negatives == len(truth)
+
+
+class TestStateMetricProperties:
+    @given(state_maps, state_maps)
+    @settings(max_examples=100, deadline=None)
+    def test_accuracy_bounds(self, predicted, truth):
+        assert 0.0 <= accuracy(predicted, truth) <= 1.0
+
+    @given(state_maps, state_maps)
+    @settings(max_examples=100, deadline=None)
+    def test_mae_accuracy_identity(self, predicted, truth):
+        # For ±1 labels: MAE = 2 * (1 - accuracy) on the common keys.
+        common = set(predicted) & set(truth)
+        if not common:
+            return
+        acc = accuracy(predicted, truth)
+        mae = mean_absolute_error(predicted, truth)
+        assert abs(mae - 2.0 * (1.0 - acc)) < 1e-12
+
+    @given(state_maps)
+    @settings(max_examples=50, deadline=None)
+    def test_perfect_prediction(self, truth):
+        if truth:
+            assert accuracy(truth, truth) == 1.0
+            assert mean_absolute_error(truth, truth) == 0.0
+            assert r_squared(truth, truth) == 1.0
+
+    @given(state_maps, state_maps)
+    @settings(max_examples=100, deadline=None)
+    def test_r_squared_at_most_one(self, predicted, truth):
+        assert r_squared(predicted, truth) <= 1.0

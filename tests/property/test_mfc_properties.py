@@ -1,0 +1,124 @@
+"""Property-based tests for MFC cascade invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion.mfc import MFCModel
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import NodeState, Sign
+
+
+@st.composite
+def diffusion_worlds(draw):
+    """A random diffusion network with a random non-empty seed set."""
+    n = draw(st.integers(min_value=1, max_value=14))
+    graph = SignedDiGraph()
+    graph.add_nodes(range(n))
+    num_edges = draw(st.integers(min_value=0, max_value=min(40, n * (n - 1))))
+    for _ in range(num_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            graph.add_edge(
+                u,
+                v,
+                draw(st.sampled_from([-1, 1])),
+                draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False)),
+            )
+    num_seeds = draw(st.integers(min_value=1, max_value=n))
+    seed_nodes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=num_seeds,
+            max_size=num_seeds,
+            unique=True,
+        )
+    )
+    seeds = {
+        node: draw(st.sampled_from([NodeState.POSITIVE, NodeState.NEGATIVE]))
+        for node in seed_nodes
+    }
+    alpha = draw(st.floats(min_value=1.0, max_value=5.0, allow_nan=False))
+    rng_seed = draw(st.integers(min_value=0, max_value=2**32))
+    return graph, seeds, alpha, rng_seed
+
+
+class TestMFCInvariants:
+    @given(diffusion_worlds())
+    @settings(max_examples=80, deadline=None)
+    def test_touched_states_are_opinions(self, world):
+        graph, seeds, alpha, rng_seed = world
+        result = MFCModel(alpha=alpha).run(graph, seeds, rng=rng_seed)
+        assert all(state.is_active for state in result.final_states.values())
+
+    @given(diffusion_worlds())
+    @settings(max_examples=80, deadline=None)
+    def test_seeds_stay_infected(self, world):
+        graph, seeds, alpha, rng_seed = world
+        result = MFCModel(alpha=alpha).run(graph, seeds, rng=rng_seed)
+        for node in seeds:
+            assert node in result.final_states
+            assert result.final_states[node].is_active
+
+    @given(diffusion_worlds())
+    @settings(max_examples=80, deadline=None)
+    def test_activation_links_form_forest_over_non_seeds(self, world):
+        graph, seeds, alpha, rng_seed = world
+        result = MFCModel(alpha=alpha).run(graph, seeds, rng=rng_seed)
+        links = result.activation_links()
+        # Every linked target is infected and its activator is infected.
+        for target, source in links.items():
+            assert result.final_states[target].is_active
+            assert result.final_states[source].is_active
+            assert graph.has_edge(source, target)
+        # Every non-seed infected node has exactly one activation link.
+        for node, state in result.final_states.items():
+            if node not in seeds and state.is_active:
+                assert node in links
+
+    @given(diffusion_worlds())
+    @settings(max_examples=80, deadline=None)
+    def test_flip_events_only_across_positive_links(self, world):
+        graph, seeds, alpha, rng_seed = world
+        result = MFCModel(alpha=alpha).run(graph, seeds, rng=rng_seed)
+        for event in result.events:
+            if event.was_flip:
+                assert graph.sign(event.source, event.target) is Sign.POSITIVE
+
+    @given(diffusion_worlds())
+    @settings(max_examples=80, deadline=None)
+    def test_event_states_follow_mfc_product_rule(self, world):
+        graph, seeds, alpha, rng_seed = world
+        result = MFCModel(alpha=alpha).run(graph, seeds, rng=rng_seed)
+        # Replay events: each non-seed event's state must equal the
+        # source's state at that moment times the link sign.
+        states = {}
+        for event in result.events:
+            if event.source is None:
+                states[event.target] = event.state
+                continue
+            expected = states[event.source].times(graph.sign(event.source, event.target))
+            assert event.state is expected
+            states[event.target] = event.state
+        assert states == result.final_states
+
+    @given(diffusion_worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_determinism(self, world):
+        graph, seeds, alpha, rng_seed = world
+        a = MFCModel(alpha=alpha).run(graph, seeds, rng=rng_seed)
+        b = MFCModel(alpha=alpha).run(graph, seeds, rng=rng_seed)
+        assert a.final_states == b.final_states
+        assert a.events == b.events
+
+    @given(diffusion_worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_infected_network_is_induced_subgraph(self, world):
+        graph, seeds, alpha, rng_seed = world
+        result = MFCModel(alpha=alpha).run(graph, seeds, rng=rng_seed)
+        infected = result.infected_network(graph)
+        infected_set = set(infected.nodes())
+        assert infected_set == set(result.infected_nodes())
+        for u, v, _ in graph.iter_edges():
+            if u in infected_set and v in infected_set:
+                assert infected.has_edge(u, v)

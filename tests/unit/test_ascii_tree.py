@@ -1,0 +1,79 @@
+"""Unit tests for the ASCII cascade-tree renderer."""
+
+import pytest
+
+from repro.errors import NotATreeError
+from repro.experiments.ascii_tree import render_cascade_tree, render_forest
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import NodeState
+
+
+@pytest.fixture
+def tree(small_cascade_tree) -> SignedDiGraph:
+    return small_cascade_tree
+
+
+class TestRenderCascadeTree:
+    def test_root_first_line(self, tree):
+        text = render_cascade_tree(tree)
+        assert text.splitlines()[0] == "r [+]"
+
+    def test_all_nodes_present(self, tree):
+        text = render_cascade_tree(tree)
+        for node in tree.nodes():
+            assert str(node) in text
+
+    def test_edge_signs_and_weights_shown(self, tree):
+        text = render_cascade_tree(tree)
+        assert "(+0.50)" in text
+        assert "(-0.40)" in text
+
+    def test_states_shown(self, tree):
+        text = render_cascade_tree(tree)
+        assert "b [-]" in text
+        assert "c [+]" in text
+
+    def test_explicit_root(self, tree):
+        text = render_cascade_tree(tree, root="a")
+        assert text.splitlines()[0] == "a [+]"
+        assert "b" not in text  # b is not under a
+
+    def test_max_depth_truncation(self, tree):
+        text = render_cascade_tree(tree, max_depth=1)
+        assert "pruned" in text
+        assert "c" not in text.replace("cascade", "")
+
+    def test_max_children_truncation(self):
+        g = SignedDiGraph()
+        g.add_node("hub", NodeState.POSITIVE)
+        for i in range(5):
+            g.add_edge("hub", f"leaf{i}", 1, 0.5)
+            g.set_state(f"leaf{i}", NodeState.POSITIVE)
+        text = render_cascade_tree(g, max_children=2)
+        assert "+3 more children" in text
+
+    def test_auto_root_fails_on_forest(self):
+        g = SignedDiGraph()
+        g.add_nodes(["x", "y"])
+        with pytest.raises(NotATreeError):
+            render_cascade_tree(g)
+
+    def test_unknown_state_glyph(self):
+        g = SignedDiGraph()
+        g.add_node("u", NodeState.UNKNOWN)
+        assert render_cascade_tree(g, root="u") == "u [?]"
+
+
+class TestRenderForest:
+    def test_largest_tree_first(self, tree):
+        single = SignedDiGraph()
+        single.add_node("solo", NodeState.NEGATIVE)
+        text = render_forest([single, tree])
+        first_header = text.splitlines()[0]
+        assert "5 nodes" in first_header
+
+    def test_max_trees(self, tree):
+        single = SignedDiGraph()
+        single.add_node("solo", NodeState.NEGATIVE)
+        text = render_forest([single, tree], max_trees=1)
+        assert "solo" not in text

@@ -1,0 +1,116 @@
+"""Unit tests for structural-balance analysis."""
+
+import pytest
+
+from repro.graphs.balance import (
+    is_balanced,
+    node_balance_degree,
+    triangle_census,
+    two_faction_partition,
+)
+from repro.graphs.signed_digraph import SignedDiGraph
+
+
+def triangle(signs) -> SignedDiGraph:
+    g = SignedDiGraph()
+    g.add_edge("a", "b", signs[0], 0.5)
+    g.add_edge("b", "c", signs[1], 0.5)
+    g.add_edge("a", "c", signs[2], 0.5)
+    return g
+
+
+class TestTriangleCensus:
+    def test_all_positive(self):
+        census = triangle_census(triangle([1, 1, 1]))
+        assert census.all_positive == 1
+        assert census.total == 1
+        assert census.balance_ratio == 1.0
+
+    def test_one_negative_unbalanced(self):
+        census = triangle_census(triangle([1, 1, -1]))
+        assert census.one_negative == 1
+        assert census.balanced == 0
+
+    def test_two_negative_balanced(self):
+        census = triangle_census(triangle([-1, -1, 1]))
+        assert census.two_negative == 1
+        assert census.balance_ratio == 1.0
+
+    def test_all_negative_unbalanced(self):
+        census = triangle_census(triangle([-1, -1, -1]))
+        assert census.all_negative == 1
+        assert census.balance_ratio == 0.0
+
+    def test_triangle_free_ratio_one(self):
+        g = SignedDiGraph()
+        g.add_edge("a", "b", 1, 0.5)
+        assert triangle_census(g).balance_ratio == 1.0
+
+    def test_matches_stats_module(self):
+        from repro.graphs.stats import triangle_balance_counts
+
+        g = triangle([1, -1, -1])
+        g.add_edge("c", "d", 1, 0.5)
+        g.add_edge("b", "d", -1, 0.5)
+        census = triangle_census(g)
+        balanced, unbalanced = triangle_balance_counts(g)
+        assert census.balanced == balanced
+        assert census.total - census.balanced == unbalanced
+
+
+class TestNodeBalanceDegree:
+    def test_balanced_node(self):
+        assert node_balance_degree(triangle([1, 1, 1]), "a") == 1.0
+
+    def test_unbalanced_node(self):
+        assert node_balance_degree(triangle([1, 1, -1]), "a") == 0.0
+
+    def test_triangle_free_node(self):
+        g = SignedDiGraph()
+        g.add_edge("a", "b", 1, 0.5)
+        assert node_balance_degree(g, "a") == 1.0
+
+
+class TestTwoFactionPartition:
+    def test_balanced_graph_zero_frustration(self):
+        # Two all-positive cliques joined by negative edges: balanced.
+        g = SignedDiGraph()
+        g.add_edge("a1", "a2", 1, 0.5)
+        g.add_edge("b1", "b2", 1, 0.5)
+        g.add_edge("a1", "b1", -1, 0.5)
+        g.add_edge("a2", "b2", -1, 0.5)
+        faction_a, faction_b, frustrated = two_faction_partition(g)
+        assert frustrated == 0
+        assert {frozenset(faction_a), frozenset(faction_b)} == {
+            frozenset({"a1", "a2"}),
+            frozenset({"b1", "b2"}),
+        }
+
+    def test_unbalanced_triangle_has_frustration(self):
+        _, _, frustrated = two_faction_partition(triangle([1, 1, -1]))
+        assert frustrated >= 1
+
+    def test_partition_covers_all_nodes(self):
+        g = triangle([1, -1, -1])
+        faction_a, faction_b, _ = two_faction_partition(g)
+        assert faction_a | faction_b == set(g.nodes())
+        assert not faction_a & faction_b
+
+
+class TestIsBalanced:
+    def test_balanced_cases(self):
+        assert is_balanced(triangle([1, 1, 1]))
+        assert is_balanced(triangle([-1, -1, 1]))
+
+    def test_unbalanced_cases(self):
+        assert not is_balanced(triangle([1, 1, -1]))
+        assert not is_balanced(triangle([-1, -1, -1]))
+
+    def test_forest_always_balanced(self):
+        g = SignedDiGraph()
+        g.add_edge("a", "b", -1, 0.5)
+        g.add_edge("b", "c", -1, 0.5)
+        assert is_balanced(g)
+
+    def test_empty_graph_balanced(self):
+        assert is_balanced(SignedDiGraph())

@@ -1,0 +1,82 @@
+"""Unit tests for cascade analytics."""
+
+import pytest
+
+from repro.diffusion.analysis import (
+    aggregate_cascade_stats,
+    cascade_stats,
+)
+from repro.diffusion.mfc import MFCModel
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import NodeState
+
+
+def certain_chain(signs) -> SignedDiGraph:
+    g = SignedDiGraph()
+    for i, sign in enumerate(signs):
+        g.add_edge(i, i + 1, sign, 1.0)
+    return g
+
+
+class TestCascadeStats:
+    def test_chain_depth_and_size(self):
+        g = certain_chain([1, 1, 1])
+        result = MFCModel(alpha=3.0).run(g, {0: NodeState.POSITIVE}, rng=1)
+        stats = cascade_stats(result, g)
+        assert stats.num_infected == 4
+        assert stats.num_seeds == 1
+        assert stats.depth == 3
+        assert stats.rounds >= 3
+        assert stats.flips == 0
+
+    def test_sign_mix_of_activation_links(self):
+        g = certain_chain([1, -1, 1])
+        result = MFCModel(alpha=3.0).run(g, {0: NodeState.POSITIVE}, rng=1)
+        stats = cascade_stats(result, g)
+        assert stats.positive_link_activations == 2
+        assert stats.negative_link_activations == 1
+        assert stats.negative_activation_share == pytest.approx(1 / 3)
+
+    def test_positive_fraction(self):
+        g = certain_chain([-1])
+        result = MFCModel(alpha=3.0).run(g, {0: NodeState.POSITIVE}, rng=1)
+        stats = cascade_stats(result, g)
+        assert stats.positive_fraction == pytest.approx(0.5)  # one +, one -
+
+    def test_seed_only_cascade(self):
+        g = SignedDiGraph()
+        g.add_node("solo")
+        result = MFCModel().run(g, {"solo": NodeState.POSITIVE}, rng=1)
+        stats = cascade_stats(result, g)
+        assert stats.num_infected == 1
+        assert stats.depth == 0
+        assert stats.negative_activation_share == 0.0
+
+    def test_flip_counted(self):
+        g = SignedDiGraph()
+        g.add_edge("s", "f", 1, 1.0)
+        g.add_edge("s", "h0", 1, 1.0)
+        g.add_edge("h0", "h", 1, 1.0)
+        g.add_edge("f", "g", -1, 1.0)
+        g.add_edge("h", "g", 1, 1.0)
+        result = MFCModel(alpha=3.0).run(g, {"s": NodeState.POSITIVE}, rng=1)
+        stats = cascade_stats(result, g)
+        assert stats.flips == 1
+
+
+class TestAggregation:
+    def test_means(self):
+        g = certain_chain([1, 1])
+        model = MFCModel(alpha=3.0)
+        batch = [
+            cascade_stats(model.run(g, {0: NodeState.POSITIVE}, rng=i), g)
+            for i in range(3)
+        ]
+        agg = aggregate_cascade_stats(batch)
+        assert agg.trials == 3
+        assert agg.mean_infected == 3.0
+        assert agg.mean_depth == 2.0
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_cascade_stats([])

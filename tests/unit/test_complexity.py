@@ -1,0 +1,151 @@
+"""Unit tests for the set-cover solvers and the Lemma 3.1 reduction."""
+
+import pytest
+
+from repro.complexity.reduction import (
+    certainty_closure,
+    isomit_solution_to_cover,
+    min_certain_initiators,
+    set_cover_to_isomit,
+)
+from repro.complexity.set_cover import (
+    SetCoverInstance,
+    exact_set_cover,
+    greedy_set_cover,
+)
+from repro.errors import InfeasibleCoverError, InvalidSetCoverError
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import NodeState
+
+
+def simple_instance() -> SetCoverInstance:
+    return SetCoverInstance.from_lists(
+        universe=[1, 2, 3, 4, 5],
+        subsets=[[1, 2, 3], [2, 4], [3, 4], [4, 5], [5]],
+    )
+
+
+class TestSetCoverInstance:
+    def test_from_lists(self):
+        instance = simple_instance()
+        assert len(instance.subsets) == 5
+        assert instance.is_feasible()
+
+    def test_rejects_foreign_elements(self):
+        with pytest.raises(InvalidSetCoverError):
+            SetCoverInstance.from_lists([1, 2], [[1, 3]])
+
+    def test_check_cover(self):
+        instance = simple_instance()
+        assert instance.check_cover([0, 3])
+        assert not instance.check_cover([1, 2])
+
+
+class TestGreedySetCover:
+    def test_produces_valid_cover(self):
+        instance = simple_instance()
+        chosen = greedy_set_cover(instance)
+        assert instance.check_cover(chosen)
+
+    def test_infeasible_raises(self):
+        instance = SetCoverInstance.from_lists([1, 2], [[1]])
+        with pytest.raises(InfeasibleCoverError):
+            greedy_set_cover(instance)
+
+
+class TestExactSetCover:
+    def test_finds_optimum(self):
+        instance = simple_instance()
+        chosen = exact_set_cover(instance)
+        assert instance.check_cover(chosen)
+        assert len(chosen) == 2  # {1,2,3} + {4,5}
+
+    def test_never_worse_than_greedy(self):
+        instance = SetCoverInstance.from_lists(
+            universe=list(range(6)),
+            subsets=[[0, 1], [2, 3], [4, 5], [0, 2, 4], [1, 3, 5]],
+        )
+        exact = exact_set_cover(instance)
+        greedy = greedy_set_cover(instance)
+        assert len(exact) <= len(greedy)
+        assert len(exact) == 2
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleCoverError):
+            exact_set_cover(SetCoverInstance.from_lists([1, 2], [[1]]))
+
+
+class TestReductionGadget:
+    def test_gadget_structure(self):
+        reduced = set_cover_to_isomit(simple_instance())
+        graph = reduced.graph
+        # 5 element nodes + 5 subset nodes + dummy.
+        assert graph.number_of_nodes() == 11
+        # Element nodes observed +1; subset nodes unknown.
+        for node in reduced.element_nodes.values():
+            assert graph.state(node) is NodeState.POSITIVE
+        for node in reduced.subset_nodes.values():
+            assert graph.state(node) is NodeState.UNKNOWN
+
+    def test_membership_links_are_certain(self):
+        reduced = set_cover_to_isomit(simple_instance())
+        subset0 = reduced.subset_nodes[0]
+        for element in (1, 2, 3):
+            assert reduced.graph.weight(subset0, reduced.element_nodes[element]) == 1.0
+
+    def test_gadget_without_dummy(self):
+        reduced = set_cover_to_isomit(simple_instance(), include_dummy=False)
+        assert reduced.dummy_node is None
+        assert reduced.graph.number_of_nodes() == 10
+
+
+class TestCertaintyClosure:
+    def test_certain_chain(self):
+        g = SignedDiGraph()
+        g.add_edge("a", "b", 1, 1.0)
+        g.add_edge("b", "c", 1, 1.0)
+        assert certainty_closure(g, {"a"}) == {"a", "b", "c"}
+
+    def test_uncertain_link_blocks(self):
+        g = SignedDiGraph()
+        g.add_edge("a", "b", 1, 0.5)
+        assert certainty_closure(g, {"a"}) == {"a"}
+
+    def test_alpha_boost_saturates(self):
+        g = SignedDiGraph()
+        g.add_edge("a", "b", 1, 0.5)
+        assert certainty_closure(g, {"a"}, alpha=2.0) == {"a", "b"}
+
+    def test_negative_links_not_boosted(self):
+        g = SignedDiGraph()
+        g.add_edge("a", "b", -1, 0.5)
+        assert certainty_closure(g, {"a"}, alpha=3.0) == {"a"}
+
+
+class TestEquivalence:
+    def test_min_initiators_equals_cover_optimum(self):
+        instance = simple_instance()
+        reduced = set_cover_to_isomit(instance)
+        initiators = min_certain_initiators(reduced)
+        assert len(initiators) == len(exact_set_cover(instance))
+
+    def test_roundtrip_cover_is_feasible(self):
+        instance = simple_instance()
+        reduced = set_cover_to_isomit(instance)
+        initiators = min_certain_initiators(reduced)
+        cover = isomit_solution_to_cover(reduced, initiators)
+        assert instance.check_cover(cover)
+
+    def test_dummy_does_not_change_optimum(self):
+        instance = simple_instance()
+        with_dummy = min_certain_initiators(set_cover_to_isomit(instance, True))
+        without = min_certain_initiators(set_cover_to_isomit(instance, False))
+        assert len(with_dummy) == len(without)
+
+    def test_element_initiators_exchangeable(self):
+        instance = simple_instance()
+        reduced = set_cover_to_isomit(instance)
+        # Hand-pick element initiators; mapping back must yield a cover.
+        chosen = set(reduced.element_nodes.values())
+        cover = isomit_solution_to_cover(reduced, chosen)
+        assert instance.check_cover(cover)

@@ -1,0 +1,183 @@
+"""Unit tests for the IC, LT, SIR, Voter and P-IC baseline models."""
+
+import pytest
+
+from repro.diffusion.ic import ICModel
+from repro.diffusion.lt import LTModel
+from repro.diffusion.pic import PICModel
+from repro.diffusion.sir import SIRModel
+from repro.diffusion.voter import SignedVoterModel
+from repro.errors import InvalidModelParameterError
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import NodeState
+
+
+def certain_line(sign: int = 1) -> SignedDiGraph:
+    g = SignedDiGraph()
+    g.add_edge("u", "v", sign, 1.0)
+    return g
+
+
+def flip_gadget() -> SignedDiGraph:
+    """F reaches G in round 2 via a negative link; H in round 3 via positive."""
+    g = SignedDiGraph()
+    g.add_edge("s", "f", 1, 1.0)
+    g.add_edge("s", "h0", 1, 1.0)
+    g.add_edge("h0", "h", 1, 1.0)
+    g.add_edge("f", "g", -1, 1.0)
+    g.add_edge("h", "g", 1, 1.0)
+    return g
+
+
+class TestICModel:
+    def test_certain_edge_activates(self):
+        result = ICModel().run(certain_line(), {"u": NodeState.POSITIVE}, rng=1)
+        assert result.final_states["v"] is NodeState.POSITIVE
+
+    def test_sign_propagation_through_negative_link(self):
+        result = ICModel().run(certain_line(-1), {"u": NodeState.POSITIVE}, rng=1)
+        assert result.final_states["v"] is NodeState.NEGATIVE
+
+    def test_unsigned_mode_copies_state(self):
+        result = ICModel(propagate_signs=False).run(
+            certain_line(-1), {"u": NodeState.POSITIVE}, rng=1
+        )
+        assert result.final_states["v"] is NodeState.POSITIVE
+
+    def test_never_reactivates(self):
+        result = ICModel().run(flip_gadget(), {"s": NodeState.POSITIVE}, rng=2)
+        assert result.final_states["g"] is NodeState.NEGATIVE  # f wins, h can't flip
+        assert not any(e.was_flip for e in result.events)
+
+    def test_single_attempt_per_pair(self):
+        g = SignedDiGraph()
+        g.add_edge("u", "v", 1, 0.0)
+        result = ICModel().run(g, {"u": NodeState.POSITIVE}, rng=3)
+        assert not any(e.target == "v" for e in result.events)
+
+    def test_no_boosting(self):
+        g = SignedDiGraph()
+        g.add_edge("u", "v", 1, 0.4)
+        hits = sum(
+            1
+            for seed in range(400)
+            if ICModel()
+            .run(g, {"u": NodeState.POSITIVE}, rng=seed)
+            .final_states.get("v", NodeState.INACTIVE)
+            .is_active
+        )
+        assert 0.3 < hits / 400 < 0.5  # raw 0.4, not boosted
+
+
+class TestLTModel:
+    def test_threshold_reached_by_strong_neighbors(self):
+        g = SignedDiGraph()
+        g.add_edge("a", "t", 1, 1.0)
+        result = LTModel().run(g, {"a": NodeState.POSITIVE}, rng=1)
+        # Normalised influence is 1.0 >= any threshold in [0, 1).
+        assert result.final_states["t"] is NodeState.POSITIVE
+
+    def test_signed_majority_sets_state(self):
+        g = SignedDiGraph()
+        g.add_edge("a", "t", -1, 1.0)
+        result = LTModel().run(g, {"a": NodeState.POSITIVE}, rng=1)
+        assert result.final_states["t"] is NodeState.NEGATIVE
+
+    def test_quiesces(self):
+        g = SignedDiGraph()
+        for i in range(6):
+            g.add_edge(i, i + 1, 1, 1.0)
+        result = LTModel().run(g, {0: NodeState.POSITIVE}, rng=4)
+        assert result.rounds <= 7
+
+
+class TestSIRModel:
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidModelParameterError):
+            SIRModel(infection_scale=-1)
+        with pytest.raises(ValueError):
+            SIRModel(recovery_probability=1.5)
+        with pytest.raises(InvalidModelParameterError):
+            SIRModel(max_rounds=0)
+
+    def test_certain_transmission(self):
+        result = SIRModel(recovery_probability=0.0, max_rounds=10).run(
+            certain_line(), {"u": NodeState.POSITIVE}, rng=1
+        )
+        assert result.final_states["v"] is NodeState.POSITIVE
+
+    def test_recovered_nodes_stop_transmitting(self):
+        g = SignedDiGraph()
+        g.add_edge("u", "v", 1, 0.2)  # low per-round probability
+        result = SIRModel(recovery_probability=1.0).run(
+            g, {"u": NodeState.POSITIVE}, rng=1
+        )
+        # u recovers after round 1; the single attempt round happened once.
+        attempts = [e for e in result.events if e.target == "v"]
+        assert len(attempts) <= 1
+
+    def test_terminates_without_recovery(self):
+        result = SIRModel(recovery_probability=0.0, max_rounds=50).run(
+            certain_line(), {"u": NodeState.POSITIVE}, rng=1
+        )
+        assert result.rounds <= 50
+
+
+class TestSignedVoterModel:
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidModelParameterError):
+            SignedVoterModel(rounds=-1)
+        with pytest.raises(InvalidModelParameterError):
+            SignedVoterModel(update_probability=2.0)
+
+    def test_copies_trusted_neighbor_opinion(self):
+        result = SignedVoterModel(rounds=1).run(
+            certain_line(), {"u": NodeState.POSITIVE}, rng=1
+        )
+        assert result.final_states["v"] is NodeState.POSITIVE
+
+    def test_negates_across_negative_link(self):
+        result = SignedVoterModel(rounds=1).run(
+            certain_line(-1), {"u": NodeState.POSITIVE}, rng=1
+        )
+        assert result.final_states["v"] is NodeState.NEGATIVE
+
+    def test_zero_rounds_only_seeds(self):
+        result = SignedVoterModel(rounds=0).run(
+            certain_line(), {"u": NodeState.POSITIVE}, rng=1
+        )
+        assert "v" not in result.final_states
+
+    def test_opinions_can_flip_back_and_forth(self):
+        # Voter dynamics allow re-updating, unlike cascades.
+        g = SignedDiGraph()
+        g.add_edge("u", "v", -1, 1.0)
+        g.add_edge("w", "v", 1, 1.0)
+        result = SignedVoterModel(rounds=8).run(
+            g, {"u": NodeState.POSITIVE, "w": NodeState.POSITIVE}, rng=3
+        )
+        assert result.final_states["v"].is_active
+
+
+class TestPICModel:
+    def test_polarity_propagation(self):
+        result = PICModel().run(certain_line(-1), {"u": NodeState.POSITIVE}, rng=1)
+        assert result.final_states["v"] is NodeState.NEGATIVE
+
+    def test_no_boost(self):
+        g = SignedDiGraph()
+        g.add_edge("u", "v", 1, 0.4)
+        hits = sum(
+            1
+            for seed in range(400)
+            if PICModel()
+            .run(g, {"u": NodeState.POSITIVE}, rng=seed)
+            .final_states.get("v", NodeState.INACTIVE)
+            .is_active
+        )
+        assert 0.3 < hits / 400 < 0.5
+
+    def test_no_flips(self):
+        result = PICModel().run(flip_gadget(), {"s": NodeState.POSITIVE}, rng=2)
+        assert result.final_states["g"] is NodeState.NEGATIVE
+        assert not any(e.was_flip for e in result.events)

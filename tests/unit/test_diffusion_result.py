@@ -1,0 +1,84 @@
+"""Unit tests for DiffusionResult conveniences and EdgeData."""
+
+from repro.diffusion.base import ActivationEvent, DiffusionResult
+from repro.graphs.signed_digraph import EdgeData, SignedDiGraph
+from repro.types import NodeState, Sign
+
+
+def build_result() -> DiffusionResult:
+    return DiffusionResult(
+        seeds={"s": NodeState.POSITIVE},
+        final_states={
+            "s": NodeState.POSITIVE,
+            "a": NodeState.NEGATIVE,
+            "b": NodeState.POSITIVE,
+        },
+        events=[
+            ActivationEvent(round=0, source=None, target="s", state=NodeState.POSITIVE),
+            ActivationEvent(round=1, source="s", target="a", state=NodeState.NEGATIVE),
+            ActivationEvent(round=2, source="a", target="b", state=NodeState.NEGATIVE),
+            ActivationEvent(
+                round=3, source="s", target="b", state=NodeState.POSITIVE, was_flip=True
+            ),
+        ],
+        rounds=3,
+    )
+
+
+def build_graph() -> SignedDiGraph:
+    g = SignedDiGraph()
+    g.add_edge("s", "a", -1, 0.5)
+    g.add_edge("a", "b", 1, 0.4)
+    g.add_edge("s", "b", 1, 0.6)
+    g.add_node("untouched")
+    return g
+
+
+class TestDiffusionResult:
+    def test_infected_nodes_and_count(self):
+        result = build_result()
+        assert sorted(result.infected_nodes()) == ["a", "b", "s"]
+        assert result.num_infected() == 3
+
+    def test_activation_links_take_last_event(self):
+        result = build_result()
+        links = result.activation_links()
+        assert links["a"] == "s"
+        assert links["b"] == "s"  # the flip supersedes a's activation
+
+    def test_cascade_forest_uses_final_links(self):
+        result = build_result()
+        forest = result.cascade_forest(build_graph())
+        assert forest.has_edge("s", "b")
+        assert not forest.has_edge("a", "b")
+        assert forest.state("b") is NodeState.POSITIVE
+
+    def test_apply_states_writes_in_place(self):
+        result = build_result()
+        graph = build_graph()
+        returned = result.apply_states(graph)
+        assert returned is graph
+        assert graph.state("a") is NodeState.NEGATIVE
+        assert graph.state("untouched") is NodeState.INACTIVE
+
+    def test_apply_states_skips_missing_nodes(self):
+        result = build_result()
+        graph = SignedDiGraph()
+        graph.add_node("s")
+        result.apply_states(graph)  # a, b absent: no error
+        assert graph.state("s") is NodeState.POSITIVE
+
+    def test_infected_network_excludes_untouched(self):
+        result = build_result()
+        infected = result.infected_network(build_graph())
+        assert not infected.has_node("untouched")
+        assert infected.number_of_nodes() == 3
+
+
+class TestEdgeData:
+    def test_copy_is_independent(self):
+        original = EdgeData(Sign.POSITIVE, 0.5)
+        clone = original.copy()
+        clone.weight = 0.9
+        assert original.weight == 0.5
+        assert clone.sign is Sign.POSITIVE

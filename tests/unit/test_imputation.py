@@ -1,0 +1,129 @@
+"""Unit tests for unknown-state masking and imputation."""
+
+import pytest
+
+from repro.core.imputation import (
+    impute_unknown_states,
+    mask_states,
+    observed_fraction,
+)
+from repro.errors import ConfigError
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import NodeState
+
+
+def stated_chain() -> SignedDiGraph:
+    """r(+) -> a(+) -> b(-) via (+0.9, -0.8)."""
+    g = SignedDiGraph()
+    g.add_edge("r", "a", 1, 0.9)
+    g.add_edge("a", "b", -1, 0.8)
+    g.set_states(
+        {
+            "r": NodeState.POSITIVE,
+            "a": NodeState.POSITIVE,
+            "b": NodeState.NEGATIVE,
+        }
+    )
+    return g
+
+
+class TestMaskStates:
+    def test_fraction_of_nodes_masked(self):
+        g = stated_chain()
+        masked = mask_states(g, 1 / 3, rng=1)
+        unknown = [n for n in masked.nodes() if masked.state(n) is NodeState.UNKNOWN]
+        assert len(unknown) == 1
+
+    def test_zero_fraction_is_identity(self):
+        g = stated_chain()
+        masked = mask_states(g, 0.0, rng=1)
+        assert masked.states() == g.states()
+
+    def test_full_masking(self):
+        masked = mask_states(stated_chain(), 1.0, rng=1)
+        assert all(masked.state(n) is NodeState.UNKNOWN for n in masked.nodes())
+
+    def test_original_untouched(self):
+        g = stated_chain()
+        mask_states(g, 1.0, rng=1)
+        assert g.state("r") is NodeState.POSITIVE
+
+    def test_deterministic(self):
+        a = mask_states(stated_chain(), 0.5, rng=9)
+        b = mask_states(stated_chain(), 0.5, rng=9)
+        assert a.states() == b.states()
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.1])
+    def test_invalid_fraction_rejected(self, fraction):
+        with pytest.raises(ConfigError):
+            mask_states(stated_chain(), fraction)
+
+
+class TestObservedFraction:
+    def test_fully_observed(self):
+        assert observed_fraction(stated_chain()) == 1.0
+
+    def test_partially_observed(self):
+        g = stated_chain()
+        g.set_state("a", NodeState.UNKNOWN)
+        assert observed_fraction(g) == pytest.approx(2 / 3)
+
+    def test_empty_graph(self):
+        assert observed_fraction(SignedDiGraph()) == 1.0
+
+
+class TestImputeUnknownStates:
+    def test_propagates_mfc_rule_through_positive_link(self):
+        g = stated_chain()
+        g.set_state("a", NodeState.UNKNOWN)
+        completed = impute_unknown_states(g)
+        # a's best active in-edge is r -> a (+): s(a) = +1.
+        assert completed.state("a") is NodeState.POSITIVE
+
+    def test_propagates_through_negative_link(self):
+        g = stated_chain()
+        g.set_state("b", NodeState.UNKNOWN)
+        completed = impute_unknown_states(g)
+        assert completed.state("b") is NodeState.NEGATIVE
+
+    def test_chained_imputation(self):
+        g = stated_chain()
+        g.set_state("a", NodeState.UNKNOWN)
+        g.set_state("b", NodeState.UNKNOWN)
+        completed = impute_unknown_states(g)
+        assert completed.state("a") is NodeState.POSITIVE
+        assert completed.state("b") is NodeState.NEGATIVE
+
+    def test_max_weight_in_edge_wins(self):
+        g = SignedDiGraph()
+        g.add_edge("p", "x", 1, 0.9)   # implies +1
+        g.add_edge("q", "x", -1, 0.3)  # implies -1 (weaker)
+        g.set_states({"p": NodeState.POSITIVE, "q": NodeState.POSITIVE})
+        g.set_state("x", NodeState.UNKNOWN)
+        assert impute_unknown_states(g).state("x") is NodeState.POSITIVE
+
+    def test_isolated_unknown_falls_back_to_majority(self):
+        g = stated_chain()
+        g.add_node("island", NodeState.UNKNOWN)
+        completed = impute_unknown_states(g)
+        # Majority of {+, +, -} is positive.
+        assert completed.state("island") is NodeState.POSITIVE
+
+    def test_known_states_never_changed(self):
+        g = stated_chain()
+        g.set_state("a", NodeState.UNKNOWN)
+        completed = impute_unknown_states(g)
+        assert completed.state("r") is NodeState.POSITIVE
+        assert completed.state("b") is NodeState.NEGATIVE
+
+    def test_inactive_states_left_untouched(self):
+        g = stated_chain()
+        g.set_state("b", NodeState.INACTIVE)
+        completed = impute_unknown_states(g)
+        assert completed.state("b") is NodeState.INACTIVE
+
+    def test_returns_new_graph(self):
+        g = stated_chain()
+        g.set_state("a", NodeState.UNKNOWN)
+        impute_unknown_states(g)
+        assert g.state("a") is NodeState.UNKNOWN

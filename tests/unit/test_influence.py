@@ -1,0 +1,116 @@
+"""Unit tests for influence maximization under signed models."""
+
+import pytest
+
+from repro.diffusion.mfc import MFCModel
+from repro.errors import InvalidSeedError
+from repro.graphs.generators.trees import star_graph
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.influence.maximization import (
+    greedy_influence_maximization,
+    margin_objective,
+    spread_objective,
+)
+from repro.diffusion.base import DiffusionResult
+from repro.types import NodeState
+
+
+def two_stars() -> SignedDiGraph:
+    """Hubs h1 (5 leaves) and h2 (2 leaves), certain positive links."""
+    g = SignedDiGraph()
+    for i in range(5):
+        g.add_edge("h1", f"x{i}", 1, 1.0)
+    for i in range(2):
+        g.add_edge("h2", f"y{i}", 1, 1.0)
+    return g
+
+
+class TestObjectives:
+    def test_spread_counts_infected(self):
+        result = DiffusionResult(
+            seeds={}, final_states={1: NodeState.POSITIVE, 2: NodeState.NEGATIVE}
+        )
+        assert spread_objective(result) == 2.0
+
+    def test_margin_is_signed_difference(self):
+        result = DiffusionResult(
+            seeds={},
+            final_states={
+                1: NodeState.POSITIVE,
+                2: NodeState.NEGATIVE,
+                3: NodeState.NEGATIVE,
+            },
+        )
+        assert margin_objective(result) == -1.0
+
+
+class TestGreedyMaximization:
+    def test_budget_zero(self):
+        result = greedy_influence_maximization(
+            two_stars(), MFCModel(alpha=1.0), budget=0, trials=2
+        )
+        assert result.seeds == []
+
+    def test_budget_exceeding_pool_rejected(self):
+        g = SignedDiGraph()
+        g.add_node("only")
+        with pytest.raises(InvalidSeedError):
+            greedy_influence_maximization(g, MFCModel(), budget=2, trials=1)
+
+    def test_picks_bigger_hub_first(self):
+        result = greedy_influence_maximization(
+            two_stars(), MFCModel(alpha=1.0), budget=1, trials=3
+        )
+        assert result.seeds == ["h1"]
+
+    def test_second_pick_is_other_hub(self):
+        result = greedy_influence_maximization(
+            two_stars(), MFCModel(alpha=1.0), budget=2, trials=3
+        )
+        assert result.seeds == ["h1", "h2"]
+        # Objective grows monotonically along the greedy path.
+        assert result.objective_values[1] >= result.objective_values[0]
+
+    def test_candidate_shortlist_respected(self):
+        result = greedy_influence_maximization(
+            two_stars(),
+            MFCModel(alpha=1.0),
+            budget=1,
+            trials=3,
+            candidates=["h2", "y0"],
+        )
+        assert result.seeds == ["h2"]
+
+    def test_margin_objective_avoids_negative_hub(self):
+        g = SignedDiGraph()
+        for i in range(4):
+            g.add_edge("good", f"g{i}", 1, 1.0)   # spreads agreement
+        for i in range(6):
+            g.add_edge("bad", f"b{i}", -1, 1.0)   # spreads disagreement
+        by_spread = greedy_influence_maximization(
+            g, MFCModel(alpha=1.0), budget=1, trials=3, objective=spread_objective
+        )
+        by_margin = greedy_influence_maximization(
+            g, MFCModel(alpha=1.0), budget=1, trials=3, objective=margin_objective
+        )
+        assert by_spread.seeds == ["bad"]   # 7 infected beats 5
+        assert by_margin.seeds == ["good"]  # +5 margin beats 1 - 6 = -5
+
+    def test_deterministic(self):
+        a = greedy_influence_maximization(
+            two_stars(), MFCModel(alpha=1.0), budget=2, trials=3, base_seed=5
+        )
+        b = greedy_influence_maximization(
+            two_stars(), MFCModel(alpha=1.0), budget=2, trials=3, base_seed=5
+        )
+        assert a.seeds == b.seeds
+        assert a.objective_values == b.objective_values
+
+    def test_lazy_evaluation_saves_work(self):
+        # CELF must not re-evaluate every candidate every round: with
+        # n candidates and budget 2, evaluations < 2n.
+        g = two_stars()
+        result = greedy_influence_maximization(
+            g, MFCModel(alpha=1.0), budget=2, trials=2
+        )
+        assert result.evaluations < 2 * g.number_of_nodes()

@@ -1,0 +1,102 @@
+"""Unit tests for the evaluation metrics (Sec. IV-B2)."""
+
+import pytest
+
+from repro.metrics.identity import f1_score, identity_metrics, precision, recall
+from repro.metrics.state import (
+    accuracy,
+    mean_absolute_error,
+    r_squared,
+    state_metrics,
+)
+from repro.types import NodeState
+
+POS, NEG = NodeState.POSITIVE, NodeState.NEGATIVE
+
+
+class TestIdentityMetrics:
+    def test_perfect_detection(self):
+        m = identity_metrics({1, 2}, {1, 2})
+        assert m.precision == m.recall == m.f1 == 1.0
+        assert m.true_positives == 2
+        assert m.false_positives == m.false_negatives == 0
+
+    def test_partial_overlap(self):
+        m = identity_metrics({1, 2, 3, 4}, {1, 2, 5})
+        assert m.precision == pytest.approx(0.5)
+        assert m.recall == pytest.approx(2 / 3)
+        assert m.f1 == pytest.approx(2 * 0.5 * (2 / 3) / (0.5 + 2 / 3))
+
+    def test_empty_prediction(self):
+        assert precision(set(), {1}) == 0.0
+        assert recall(set(), {1}) == 0.0
+        assert f1_score(set(), {1}) == 0.0
+
+    def test_empty_truth(self):
+        assert recall({1}, set()) == 0.0
+        assert precision({1}, set()) == 0.0
+
+    def test_disjoint_sets(self):
+        m = identity_metrics({1}, {2})
+        assert m.f1 == 0.0
+        assert m.false_positives == 1
+        assert m.false_negatives == 1
+
+    def test_accepts_iterables(self):
+        m = identity_metrics([1, 1, 2], (2, 3))
+        assert m.true_positives == 1
+
+
+class TestStateAccuracy:
+    def test_all_match(self):
+        assert accuracy({1: POS, 2: NEG}, {1: POS, 2: NEG}) == 1.0
+
+    def test_half_match(self):
+        assert accuracy({1: POS, 2: POS}, {1: POS, 2: NEG}) == 0.5
+
+    def test_only_common_keys_count(self):
+        assert accuracy({1: POS, 99: NEG}, {1: POS, 2: NEG}) == 1.0
+
+    def test_no_common_keys(self):
+        assert accuracy({1: POS}, {2: NEG}) == 0.0
+
+
+class TestStateMAE:
+    def test_zero_for_perfect(self):
+        assert mean_absolute_error({1: POS}, {1: POS}) == 0.0
+
+    def test_each_mismatch_contributes_two(self):
+        assert mean_absolute_error({1: POS, 2: POS}, {1: NEG, 2: POS}) == 1.0
+
+    def test_empty_intersection(self):
+        assert mean_absolute_error({}, {1: POS}) == 0.0
+
+
+class TestRSquared:
+    def test_perfect_prediction(self):
+        assert r_squared({1: POS, 2: NEG}, {1: POS, 2: NEG}) == 1.0
+
+    def test_inverted_prediction_is_negative(self):
+        r2 = r_squared({1: POS, 2: NEG}, {1: NEG, 2: POS})
+        assert r2 < 0
+
+    def test_constant_truth_convention(self):
+        assert r_squared({1: POS, 2: POS}, {1: POS, 2: POS}) == 1.0
+        assert r_squared({1: POS, 2: NEG}, {1: POS, 2: POS}) == 0.0
+
+    def test_empty(self):
+        assert r_squared({}, {}) == 0.0
+
+
+class TestStateMetricsAggregate:
+    def test_restricts_to_common_keys(self):
+        m = state_metrics({1: POS, 9: NEG}, {1: POS, 2: NEG})
+        assert m.evaluated == 1
+        assert m.accuracy == 1.0
+        assert m.mae == 0.0
+
+    def test_mixed_quality(self):
+        m = state_metrics({1: POS, 2: POS, 3: NEG}, {1: POS, 2: NEG, 3: NEG})
+        assert m.evaluated == 3
+        assert m.accuracy == pytest.approx(2 / 3)
+        assert m.mae == pytest.approx(2 / 3)

@@ -1,0 +1,196 @@
+"""Unit tests for the MFC diffusion model (paper Algorithm 1)."""
+
+import pytest
+
+from repro.diffusion.mfc import MFCModel, boosted_probability
+from repro.errors import InvalidModelParameterError, InvalidSeedError
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import NodeState, Sign
+
+
+def line(sign: int, weight: float) -> SignedDiGraph:
+    g = SignedDiGraph()
+    g.add_edge("u", "v", sign, weight)
+    return g
+
+
+class TestBoostedProbability:
+    def test_positive_link_boosted(self):
+        assert boosted_probability(0.2, Sign.POSITIVE, 3.0) == pytest.approx(0.6)
+
+    def test_positive_link_clamped_at_one(self):
+        assert boosted_probability(0.5, Sign.POSITIVE, 3.0) == 1.0
+
+    def test_negative_link_not_boosted(self):
+        assert boosted_probability(0.2, Sign.NEGATIVE, 3.0) == pytest.approx(0.2)
+
+
+class TestParameters:
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(InvalidModelParameterError):
+            MFCModel(alpha=0.5)
+
+    def test_alpha_one_allowed(self):
+        MFCModel(alpha=1.0)
+
+    def test_bad_max_rounds_rejected(self):
+        with pytest.raises(InvalidModelParameterError):
+            MFCModel(max_rounds=0)
+
+
+class TestSeedValidation:
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(InvalidSeedError):
+            MFCModel().run(line(1, 0.5), {})
+
+    def test_unknown_seed_node_rejected(self):
+        with pytest.raises(InvalidSeedError):
+            MFCModel().run(line(1, 0.5), {"zzz": NodeState.POSITIVE})
+
+    def test_inactive_seed_state_rejected(self):
+        with pytest.raises(InvalidSeedError):
+            MFCModel().run(line(1, 0.5), {"u": NodeState.INACTIVE})
+
+
+class TestPropagation:
+    def test_certain_positive_link_activates_with_same_state(self):
+        result = MFCModel(alpha=3.0).run(line(1, 1.0), {"u": NodeState.POSITIVE}, rng=1)
+        assert result.final_states["v"] is NodeState.POSITIVE
+
+    def test_certain_negative_link_flips_state(self):
+        # s(v) = s(u) * s_D(u, v) = +1 * -1 = -1
+        result = MFCModel(alpha=3.0).run(line(-1, 1.0), {"u": NodeState.POSITIVE}, rng=1)
+        assert result.final_states["v"] is NodeState.NEGATIVE
+
+    def test_negative_seed_through_negative_link_goes_positive(self):
+        result = MFCModel(alpha=3.0).run(line(-1, 1.0), {"u": NodeState.NEGATIVE}, rng=1)
+        assert result.final_states["v"] is NodeState.POSITIVE
+
+    def test_zero_weight_never_activates(self):
+        for seed in range(20):
+            result = MFCModel(alpha=3.0).run(line(1, 0.0), {"u": NodeState.POSITIVE}, rng=seed)
+            assert "v" not in result.final_states or not result.final_states["v"].is_active
+
+    def test_boost_makes_subunit_weight_certain(self):
+        # alpha * w = 3 * 0.4 >= 1 on a positive link.
+        for seed in range(20):
+            result = MFCModel(alpha=3.0).run(line(1, 0.4), {"u": NodeState.POSITIVE}, rng=seed)
+            assert result.final_states["v"] is NodeState.POSITIVE
+
+    def test_negative_link_not_boosted_statistically(self):
+        hits = sum(
+            1
+            for seed in range(400)
+            if MFCModel(alpha=3.0)
+            .run(line(-1, 0.4), {"u": NodeState.POSITIVE}, rng=seed)
+            .final_states.get("v", NodeState.INACTIVE)
+            .is_active
+        )
+        assert 0.3 < hits / 400 < 0.5  # ~= raw weight 0.4, not 1.0
+
+    def test_single_attempt_per_pair(self):
+        # Even across many rounds the pair (u, v) is attempted once.
+        g = SignedDiGraph()
+        g.add_edge("u", "v", -1, 0.0)  # never succeeds
+        g.add_edge("u", "w", 1, 1.0)
+        g.add_edge("w", "u", 1, 1.0)  # keeps cascade alive via flip-backs
+        result = MFCModel(alpha=3.0).run(g, {"u": NodeState.POSITIVE}, rng=3)
+        attempts = [e for e in result.events if e.target == "v"]
+        assert attempts == []
+
+
+class TestFlipping:
+    def build_flip_gadget(self) -> SignedDiGraph:
+        """F activates G via a negative link in round 1; H (trusted by G)
+        reaches G one round later and can flip it."""
+        g = SignedDiGraph()
+        g.add_edge("s", "f", 1, 1.0)
+        g.add_edge("s", "h0", 1, 1.0)
+        g.add_edge("h0", "h", 1, 1.0)
+        g.add_edge("f", "g", -1, 1.0)
+        g.add_edge("h", "g", 1, 1.0)
+        return g
+
+    def test_trusted_neighbor_flips_state(self):
+        result = MFCModel(alpha=3.0).run(
+            self.build_flip_gadget(), {"s": NodeState.POSITIVE}, rng=5
+        )
+        # F sets g to NEGATIVE in round 2; H flips it to POSITIVE in round 3.
+        assert result.final_states["g"] is NodeState.POSITIVE
+        flips = [e for e in result.events if e.was_flip]
+        assert len(flips) == 1
+        assert flips[0].target == "g" and flips[0].source == "h"
+
+    def test_flips_disabled_keeps_first_activation(self):
+        result = MFCModel(alpha=3.0, allow_flips=False).run(
+            self.build_flip_gadget(), {"s": NodeState.POSITIVE}, rng=5
+        )
+        assert result.final_states["g"] is NodeState.NEGATIVE
+        assert not any(e.was_flip for e in result.events)
+
+    def test_distrusted_neighbor_cannot_flip(self):
+        g = SignedDiGraph()
+        g.add_edge("s", "f", 1, 1.0)
+        g.add_edge("s", "h0", 1, 1.0)
+        g.add_edge("h0", "h", 1, 1.0)
+        g.add_edge("f", "g", 1, 1.0)   # G activated POSITIVE first
+        g.add_edge("h", "g", -1, 1.0)  # distrusted late arrival
+        result = MFCModel(alpha=3.0).run(g, {"s": NodeState.NEGATIVE}, rng=5)
+        # f sets g to NEGATIVE (via +1 link from NEGATIVE source).
+        assert result.final_states["g"] is NodeState.NEGATIVE
+        assert not any(e.was_flip for e in result.events)
+
+    def test_same_state_trusted_neighbor_does_not_reattempt(self):
+        g = SignedDiGraph()
+        g.add_edge("a", "g", 1, 1.0)
+        g.add_edge("b", "g", 1, 1.0)
+        result = MFCModel(alpha=3.0).run(
+            g, {"a": NodeState.POSITIVE, "b": NodeState.POSITIVE}, rng=5
+        )
+        activations = [e for e in result.events if e.target == "g"]
+        assert len(activations) == 1  # second attempt skipped: same state
+
+
+class TestResultStructure:
+    def test_seed_events_are_round_zero(self):
+        result = MFCModel().run(line(1, 1.0), {"u": NodeState.POSITIVE}, rng=1)
+        seed_events = [e for e in result.events if e.source is None]
+        assert len(seed_events) == 1
+        assert seed_events[0].round == 0
+
+    def test_activation_links_point_to_final_activator(self):
+        g = SignedDiGraph()
+        g.add_edge("s", "f", 1, 1.0)
+        g.add_edge("s", "h0", 1, 1.0)
+        g.add_edge("h0", "h", 1, 1.0)
+        g.add_edge("f", "g", -1, 1.0)
+        g.add_edge("h", "g", 1, 1.0)
+        result = MFCModel(alpha=3.0).run(g, {"s": NodeState.POSITIVE}, rng=5)
+        links = result.activation_links()
+        assert links["g"] == "h"  # the flip supersedes f's activation
+
+    def test_infected_network_carries_states(self):
+        result = MFCModel().run(line(-1, 1.0), {"u": NodeState.POSITIVE}, rng=1)
+        g_i = result.infected_network(line(-1, 1.0))
+        assert g_i.state("u") is NodeState.POSITIVE
+        assert g_i.state("v") is NodeState.NEGATIVE
+        assert g_i.has_edge("u", "v")
+
+    def test_cascade_forest_is_rooted_at_seeds(self):
+        g = SignedDiGraph()
+        g.add_edge("s", "a", 1, 1.0)
+        g.add_edge("a", "b", 1, 1.0)
+        result = MFCModel().run(g, {"s": NodeState.POSITIVE}, rng=1)
+        forest = result.cascade_forest(g)
+        assert forest.in_degree("s") == 0
+        assert forest.in_degree("a") == 1
+        assert forest.in_degree("b") == 1
+
+    def test_determinism_given_seed(self):
+        g = SignedDiGraph()
+        for i in range(10):
+            g.add_edge(i, (i + 1) % 10, 1 if i % 2 else -1, 0.5)
+        a = MFCModel().run(g, {0: NodeState.POSITIVE}, rng=99)
+        b = MFCModel().run(g, {0: NodeState.POSITIVE}, rng=99)
+        assert a.final_states == b.final_states
+        assert a.events == b.events

@@ -1,0 +1,99 @@
+"""Unit tests for the path algorithms."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graphs.paths import (
+    diffusion_distances,
+    hop_distances,
+    most_probable_path,
+    reachable_from,
+)
+from repro.graphs.signed_digraph import SignedDiGraph
+
+
+@pytest.fixture
+def diamond() -> SignedDiGraph:
+    """s -> a -> t (0.9 * 0.9) and s -> b -> t (0.5 * 0.5)."""
+    g = SignedDiGraph()
+    g.add_edge("s", "a", 1, 0.9)
+    g.add_edge("a", "t", 1, 0.9)
+    g.add_edge("s", "b", 1, 0.5)
+    g.add_edge("b", "t", 1, 0.5)
+    return g
+
+
+class TestHopDistances:
+    def test_directed(self, diamond):
+        distances = hop_distances(diamond, "s")
+        assert distances == {"s": 0, "a": 1, "b": 1, "t": 2}
+
+    def test_unreachable_absent(self, diamond):
+        distances = hop_distances(diamond, "t")
+        assert distances == {"t": 0}
+
+    def test_undirected_view(self, diamond):
+        distances = hop_distances(diamond, "t", directed=False)
+        assert distances["s"] == 2
+
+    def test_missing_source_raises(self, diamond):
+        with pytest.raises(NodeNotFoundError):
+            hop_distances(diamond, "zzz")
+
+
+class TestReachableFrom:
+    def test_covers_descendants(self, diamond):
+        assert reachable_from(diamond, "s") == {"s", "a", "b", "t"}
+        assert reachable_from(diamond, "a") == {"a", "t"}
+
+
+class TestDiffusionDistances:
+    def test_strongest_route_wins(self, diamond):
+        strengths = diffusion_distances(diamond, "s", alpha=1.0)
+        assert strengths["t"] == pytest.approx(0.81)
+
+    def test_source_strength_is_one(self, diamond):
+        assert diffusion_distances(diamond, "s", alpha=1.0)["s"] == pytest.approx(1.0)
+
+    def test_alpha_boost_applies_to_positive_links(self, diamond):
+        strengths = diffusion_distances(diamond, "s", alpha=2.0)
+        # 0.9 boosts to 1.0: the strong route becomes certain.
+        assert strengths["t"] == pytest.approx(1.0)
+
+    def test_negative_links_not_boosted(self):
+        g = SignedDiGraph()
+        g.add_edge("s", "t", -1, 0.5)
+        strengths = diffusion_distances(g, "s", alpha=3.0)
+        assert strengths["t"] == pytest.approx(0.5)
+
+    def test_missing_source_raises(self, diamond):
+        with pytest.raises(NodeNotFoundError):
+            diffusion_distances(diamond, "zzz")
+
+
+class TestMostProbablePath:
+    def test_returns_strongest_path(self, diamond):
+        path, strength = most_probable_path(diamond, "s", "t", alpha=1.0)
+        assert path == ["s", "a", "t"]
+        assert strength == pytest.approx(0.81)
+
+    def test_unreachable_returns_none(self, diamond):
+        assert most_probable_path(diamond, "t", "s", alpha=1.0) is None
+
+    def test_trivial_path(self, diamond):
+        path, strength = most_probable_path(diamond, "s", "s")
+        assert path == ["s"]
+        assert strength == pytest.approx(1.0)
+
+    def test_prefers_longer_but_stronger_route(self):
+        g = SignedDiGraph()
+        g.add_edge("s", "t", 1, 0.1)             # direct but weak
+        g.add_edge("s", "m", 1, 0.9)
+        g.add_edge("m", "t", 1, 0.9)             # two hops, 0.81 total
+        path, strength = most_probable_path(g, "s", "t", alpha=1.0)
+        assert path == ["s", "m", "t"]
+        assert strength == pytest.approx(0.81)
+
+    def test_missing_endpoint_raises(self, diamond):
+        with pytest.raises(NodeNotFoundError):
+            most_probable_path(diamond, "s", "zzz")

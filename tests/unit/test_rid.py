@@ -1,0 +1,144 @@
+"""Unit tests for the RID pipeline and its baselines."""
+
+import pytest
+
+from repro.core.baselines import RIDPositiveDetector, RIDTreeDetector
+from repro.core.rid import RID, RIDConfig
+from repro.errors import ConfigError
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import NodeState
+
+
+def hand_built_infection() -> SignedDiGraph:
+    """A planted cascade with one embedded second initiator.
+
+    Cascade A (rooted at r1): r1(+) -> a(+) -> b(+), all strong positive
+    consistent links (boost-saturated, g = 1). The second initiator r2 is
+    embedded under b via a *weak* consistent negative link (b -> r2,
+    weight 0.02), so r2 is not a forest root but is discoverable by the
+    DP: splitting there gains 1 - 0.02 = 0.98, which beats β = 0.1 and
+    loses to β = 1.0.
+    """
+    g = SignedDiGraph()
+    g.add_edge("r1", "a", 1, 0.9)
+    g.add_edge("a", "b", 1, 0.9)
+    g.add_edge("b", "r2", -1, 0.02)  # weak, consistent (+ * -1 = -)
+    g.set_states(
+        {
+            "r1": NodeState.POSITIVE,
+            "a": NodeState.POSITIVE,
+            "b": NodeState.POSITIVE,
+            "r2": NodeState.NEGATIVE,
+        }
+    )
+    return g
+
+
+class TestRIDConfig:
+    def test_defaults_valid(self):
+        RIDConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.5},
+            {"beta": -0.1},
+            {"score": "nope"},
+            {"k_strategy": "nope"},
+            {"max_k_per_tree": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            RID(RIDConfig(**kwargs))
+
+
+class TestRIDDetection:
+    def test_single_tree_root_detected(self, small_cascade_tree):
+        result = RID(RIDConfig(beta=1.0)).detect(small_cascade_tree)
+        assert "r" in result.initiators
+        assert result.states["r"] is NodeState.POSITIVE
+
+    def test_embedded_initiator_found_at_low_beta(self):
+        infected = hand_built_infection()
+        result = RID(RIDConfig(beta=0.1)).detect(infected)
+        assert "r1" in result.initiators
+        assert "r2" in result.initiators
+        assert result.states["r2"] is NodeState.NEGATIVE
+
+    def test_high_beta_keeps_tree_whole(self):
+        infected = hand_built_infection()
+        result = RID(RIDConfig(beta=1.0)).detect(infected)
+        # Penalty 1.0 exceeds the 0.98 gain of splitting at r2.
+        assert result.initiators == {"r1"}
+
+    def test_beta_monotone_in_detections(self):
+        infected = hand_built_infection()
+        low = RID(RIDConfig(beta=0.0)).detect(infected)
+        high = RID(RIDConfig(beta=1.0)).detect(infected)
+        assert len(low.initiators) >= len(high.initiators)
+
+    def test_exhaustive_at_least_as_good_as_greedy(self):
+        infected = hand_built_infection()
+        greedy = RID(RIDConfig(beta=0.3, k_strategy="greedy")).detect(infected)
+        exhaustive = RID(RIDConfig(beta=0.3, k_strategy="exhaustive")).detect(infected)
+        assert exhaustive.objective >= greedy.objective - 1e-12
+
+    def test_max_k_per_tree_caps_detections(self):
+        infected = hand_built_infection()
+        result = RID(RIDConfig(beta=0.0, max_k_per_tree=1)).detect(infected)
+        assert len(result.initiators) <= 1 * len(result.trees)
+
+    def test_selections_diagnostics_populated(self):
+        detector = RID(RIDConfig(beta=0.1))
+        detector.detect(hand_built_infection())
+        assert detector.last_selections
+        assert all(s.k >= 1 for s in detector.last_selections)
+
+    def test_states_cover_all_initiators(self):
+        result = RID(RIDConfig(beta=0.1)).detect(hand_built_infection())
+        assert set(result.states) == result.initiators
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        result = RID(RIDConfig(beta=0.1)).detect(hand_built_infection())
+        payload = result.to_dict()
+        encoded = json.dumps(payload)
+        assert "rid" in encoded
+        assert payload["num_trees"] == len(result.trees)
+        assert sum(payload["tree_sizes"]) == sum(
+            t.number_of_nodes() for t in result.trees
+        )
+
+
+class TestRIDTreeDetector:
+    def test_roots_are_in_degree_zero_nodes(self):
+        infected = hand_built_infection()
+        result = RIDTreeDetector().detect(infected)
+        assert result.initiators == {"r1"}
+
+    def test_no_states_inferred(self):
+        result = RIDTreeDetector().detect(hand_built_infection())
+        assert result.states == {}
+
+    def test_pruned_variant_splits_at_inconsistencies(self):
+        infected = hand_built_infection()
+        # Make the b -> r2 link inconsistent so pruning severs it.
+        infected.set_state("r2", NodeState.POSITIVE)
+        pruned = RIDTreeDetector(prune_inconsistent=True).detect(infected)
+        assert pruned.initiators == {"r1", "r2"}
+
+
+class TestRIDPositiveDetector:
+    def test_negative_links_discarded(self):
+        infected = hand_built_infection()
+        result = RIDPositiveDetector().detect(infected)
+        # Dropping b -> r2 (negative) makes r2 a root as well.
+        assert result.initiators == {"r1", "r2"}
+
+    def test_detects_more_or_equal_roots_than_tree(self):
+        infected = hand_built_infection()
+        tree = RIDTreeDetector().detect(infected)
+        positive = RIDPositiveDetector().detect(infected)
+        assert len(positive.initiators) >= len(tree.initiators)

@@ -1,0 +1,54 @@
+"""Unit tests for the robustness (X4/X5) experiment module."""
+
+from repro.experiments import robustness
+
+
+class TestMaskingSweep:
+    def test_points_cover_fractions(self):
+        points = robustness.run_masking_sweep(
+            fractions=(0.0, 0.5), scale=0.002, seed=3
+        )
+        assert [p.mask_fraction for p in points] == [0.0, 0.5]
+        for point in points:
+            assert 0.0 <= point.precision <= 1.0
+            assert 0.0 <= point.recall <= 1.0
+            assert point.num_detected >= 0
+
+    def test_observed_fraction_tracks_mask(self):
+        points = robustness.run_masking_sweep(
+            fractions=(0.0, 0.4), scale=0.002, seed=3
+        )
+        assert points[0].observed_fraction == 1.0
+        assert abs(points[1].observed_fraction - 0.6) < 0.05
+
+    def test_render(self):
+        points = robustness.run_masking_sweep(fractions=(0.0,), scale=0.002, seed=3)
+        text = robustness.render_masking_sweep(points)
+        assert "Ablation X4" in text
+
+
+class TestInconsistentValueAblation:
+    def test_both_readings_evaluated(self):
+        comparisons = robustness.run_inconsistent_value_ablation(scale=0.002, seed=3)
+        assert [c.inconsistent_value for c in comparisons] == [0.0, 1.0]
+
+    def test_render(self):
+        comparisons = robustness.run_inconsistent_value_ablation(scale=0.002, seed=3)
+        assert "Ablation X5" in robustness.render_inconsistent_value(comparisons)
+
+
+class TestSnapshotTimeSweep:
+    def test_infected_counts_monotone_in_rounds(self):
+        points = robustness.run_snapshot_time_sweep(
+            rounds=(1, 3, 50), scale=0.002, seed=3
+        )
+        infected = [p.infected for p in points]
+        assert infected == sorted(infected)
+
+    def test_rounds_echoed(self):
+        points = robustness.run_snapshot_time_sweep(rounds=(2, 5), scale=0.002, seed=3)
+        assert [p.rounds for p in points] == [2, 5]
+
+    def test_render(self):
+        points = robustness.run_snapshot_time_sweep(rounds=(2,), scale=0.002, seed=3)
+        assert "Ablation X7" in robustness.render_snapshot_time(points)

@@ -1,0 +1,101 @@
+"""Unit tests for the runner plumbing and figure-module helpers."""
+
+import pytest
+
+from repro.core.rid import RID, RIDConfig
+from repro.experiments import fig4
+from repro.experiments.fig5 import DEFAULT_BETAS
+from repro.experiments.runner import (
+    DetectorEvaluation,
+    aggregate_evaluations,
+    evaluate_detector,
+)
+from repro.experiments.workload import dataset_profile
+from repro.experiments.config import WorkloadConfig
+from repro.experiments.workload import build_workload
+from repro.metrics.identity import IdentityMetrics
+from repro.metrics.state import StateMetrics
+
+
+def make_evaluation(precision, recall, accuracy=None):
+    state = None
+    if accuracy is not None:
+        state = StateMetrics(evaluated=3, accuracy=accuracy, mae=2 * (1 - accuracy), r2=0.5)
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return DetectorEvaluation(
+        method="m",
+        identity=IdentityMetrics(1, 1, 1, precision, recall, f1),
+        state=state,
+        num_detected=2,
+        num_truth=2,
+        seconds=0.1,
+    )
+
+
+class TestAggregation:
+    def test_means(self):
+        agg = aggregate_evaluations(
+            [make_evaluation(0.4, 0.2), make_evaluation(0.6, 0.4)]
+        )
+        assert agg.precision == pytest.approx(0.5)
+        assert agg.recall == pytest.approx(0.3)
+        assert agg.trials == 2
+
+    def test_state_metrics_require_all_trials(self):
+        agg = aggregate_evaluations(
+            [make_evaluation(0.5, 0.5, accuracy=1.0), make_evaluation(0.5, 0.5)]
+        )
+        assert agg.accuracy is None
+
+    def test_state_metrics_averaged_when_present(self):
+        agg = aggregate_evaluations(
+            [
+                make_evaluation(0.5, 0.5, accuracy=1.0),
+                make_evaluation(0.5, 0.5, accuracy=0.5),
+            ]
+        )
+        assert agg.accuracy == pytest.approx(0.75)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_evaluations([])
+
+
+class TestEvaluateDetector:
+    def test_fields_populated(self):
+        workload = build_workload(WorkloadConfig(dataset="epinions", scale=0.002, seed=3))
+        evaluation = evaluate_detector(RID(RIDConfig(beta=0.8)), workload)
+        assert evaluation.num_truth == len(workload.seeds)
+        assert evaluation.seconds > 0
+        assert evaluation.state is not None  # RID infers states
+        assert 0.0 <= evaluation.identity.f1 <= 1.0
+
+
+class TestFigureHelpers:
+    def test_fig4_lineup(self):
+        factories = fig4.detector_factories()
+        assert set(factories) == {"rid(0.09)", "rid(0.1)", "rid-tree", "rid-positive"}
+        # Factories build fresh detectors each call.
+        a, b = factories["rid-tree"](), factories["rid-tree"]()
+        assert a is not b
+
+    def test_fig4_paper_reference_methods_exist(self):
+        factories = fig4.detector_factories()
+        assert set(fig4.PAPER_REFERENCE) <= set(factories)
+
+    def test_fig5_default_betas_cover_unit_interval(self):
+        assert DEFAULT_BETAS[0] == 0.0
+        assert DEFAULT_BETAS[-1] == 1.0
+        assert list(DEFAULT_BETAS) == sorted(DEFAULT_BETAS)
+
+
+class TestDatasetProfileAccessor:
+    def test_known_datasets(self):
+        for name in ("epinions", "slashdot", "wiki-elec"):
+            profile = dataset_profile(name)
+            assert profile.num_nodes > 0
+            assert 0.0 < profile.positive_fraction < 1.0
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            dataset_profile("orkut")

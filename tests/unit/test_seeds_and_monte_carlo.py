@@ -1,0 +1,101 @@
+"""Unit tests for seed planting and Monte-Carlo helpers."""
+
+import pytest
+
+from repro.diffusion.mfc import MFCModel
+from repro.diffusion.monte_carlo import estimate_spread, simulate_many
+from repro.diffusion.seeds import plant_fixed_initiators, plant_random_initiators
+from repro.errors import InvalidSeedError
+from repro.graphs.generators.trees import path_graph
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import NodeState
+
+
+def ring(n: int = 20) -> SignedDiGraph:
+    g = SignedDiGraph()
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n, 1, 0.5)
+    return g
+
+
+class TestPlantRandomInitiators:
+    def test_count_respected(self):
+        seeds = plant_random_initiators(ring(), 5, rng=1)
+        assert len(seeds) == 5
+
+    def test_theta_split_exact(self):
+        seeds = plant_random_initiators(ring(), 10, positive_ratio=0.3, rng=1)
+        positives = sum(1 for s in seeds.values() if s is NodeState.POSITIVE)
+        assert positives == 3
+
+    def test_theta_one_all_positive(self):
+        seeds = plant_random_initiators(ring(), 4, positive_ratio=1.0, rng=1)
+        assert all(s is NodeState.POSITIVE for s in seeds.values())
+
+    def test_deterministic(self):
+        a = plant_random_initiators(ring(), 6, rng=42)
+        b = plant_random_initiators(ring(), 6, rng=42)
+        assert a == b
+
+    def test_count_exceeding_network_rejected(self):
+        with pytest.raises(InvalidSeedError):
+            plant_random_initiators(ring(5), 6, rng=1)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(InvalidSeedError):
+            plant_random_initiators(ring(), 0, rng=1)
+
+
+class TestPlantFixedInitiators:
+    def test_default_states_positive(self):
+        seeds = plant_fixed_initiators(ring(), [1, 2])
+        assert seeds == {1: NodeState.POSITIVE, 2: NodeState.POSITIVE}
+
+    def test_explicit_states(self):
+        seeds = plant_fixed_initiators(
+            ring(), [1, 2], [NodeState.NEGATIVE, NodeState.POSITIVE]
+        )
+        assert seeds[1] is NodeState.NEGATIVE
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidSeedError):
+            plant_fixed_initiators(ring(), [1, 2], [NodeState.POSITIVE])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(InvalidSeedError):
+            plant_fixed_initiators(ring(), ["nope"])
+
+
+class TestMonteCarlo:
+    def test_simulate_many_count_and_determinism(self):
+        model = MFCModel(alpha=2.0)
+        seeds = {0: NodeState.POSITIVE}
+        runs_a = simulate_many(model, ring(), seeds, trials=5, base_seed=3)
+        runs_b = simulate_many(model, ring(), seeds, trials=5, base_seed=3)
+        assert len(runs_a) == 5
+        assert [r.num_infected() for r in runs_a] == [r.num_infected() for r in runs_b]
+
+    def test_trials_differ_from_each_other(self):
+        # alpha = 1 keeps attempts at probability 0.5 (no saturation), so
+        # cascade sizes genuinely vary across trials.
+        model = MFCModel(alpha=1.0)
+        runs = simulate_many(model, ring(), {0: NodeState.POSITIVE}, trials=10, base_seed=3)
+        sizes = {r.num_infected() for r in runs}
+        assert len(sizes) > 1  # randomness across trials
+
+    def test_estimate_spread_fields(self):
+        estimate = estimate_spread(
+            MFCModel(alpha=2.0), ring(), {0: NodeState.POSITIVE}, trials=8, base_seed=1
+        )
+        assert estimate.trials == 8
+        assert estimate.mean_infected >= 1.0
+        assert 0.0 <= estimate.mean_positive_fraction <= 1.0
+        assert estimate.std_infected >= 0.0
+
+    def test_certain_path_spread(self):
+        path = path_graph(5, sign=1, weight=1.0)
+        estimate = estimate_spread(
+            MFCModel(alpha=3.0), path, {0: NodeState.POSITIVE}, trials=3
+        )
+        assert estimate.mean_infected == 5.0
+        assert estimate.mean_positive_fraction == 1.0

@@ -1,0 +1,220 @@
+"""Unit tests for the SignedDiGraph substrate."""
+
+import pytest
+
+from repro.errors import (
+    EdgeNotFoundError,
+    InvalidSignError,
+    InvalidWeightError,
+    NodeNotFoundError,
+)
+from repro.graphs.signed_digraph import EdgeData, SignedDiGraph
+from repro.types import NodeState, Sign
+
+
+@pytest.fixture
+def graph() -> SignedDiGraph:
+    g = SignedDiGraph(name="g")
+    g.add_edge(1, 2, 1, 0.5)
+    g.add_edge(2, 3, -1, 0.25)
+    g.add_edge(3, 1, 1, 1.0)
+    return g
+
+
+class TestNodes:
+    def test_add_node_is_idempotent(self, graph):
+        graph.add_node(1)
+        assert graph.number_of_nodes() == 3
+
+    def test_add_node_preserves_existing_state(self, graph):
+        graph.set_state(1, NodeState.POSITIVE)
+        graph.add_node(1)
+        assert graph.state(1) is NodeState.POSITIVE
+
+    def test_contains_and_has_node(self, graph):
+        assert 1 in graph
+        assert graph.has_node(2)
+        assert 99 not in graph
+
+    def test_len_and_iter(self, graph):
+        assert len(graph) == 3
+        assert sorted(graph) == [1, 2, 3]
+
+    def test_remove_node_drops_incident_edges(self, graph):
+        graph.remove_node(2)
+        assert not graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 3)
+        assert graph.number_of_edges() == 1
+
+    def test_remove_missing_node_raises(self, graph):
+        with pytest.raises(NodeNotFoundError):
+            graph.remove_node(99)
+
+    def test_add_nodes_bulk(self):
+        g = SignedDiGraph()
+        g.add_nodes(range(5))
+        assert g.number_of_nodes() == 5
+
+
+class TestStates:
+    def test_default_state_is_inactive(self, graph):
+        assert graph.state(1) is NodeState.INACTIVE
+
+    def test_set_and_get_state(self, graph):
+        graph.set_state(2, NodeState.NEGATIVE)
+        assert graph.state(2) is NodeState.NEGATIVE
+
+    def test_set_state_unknown_node_raises(self, graph):
+        with pytest.raises(NodeNotFoundError):
+            graph.set_state(99, NodeState.POSITIVE)
+
+    def test_state_unknown_node_raises(self, graph):
+        with pytest.raises(NodeNotFoundError):
+            graph.state(99)
+
+    def test_set_states_bulk_and_active_nodes(self, graph):
+        graph.set_states({1: NodeState.POSITIVE, 2: NodeState.NEGATIVE})
+        assert sorted(graph.active_nodes()) == [1, 2]
+
+    def test_reset_states(self, graph):
+        graph.set_states({1: NodeState.POSITIVE})
+        graph.reset_states()
+        assert graph.active_nodes() == []
+
+    def test_states_returns_copy(self, graph):
+        states = graph.states()
+        states[1] = NodeState.POSITIVE
+        assert graph.state(1) is NodeState.INACTIVE
+
+
+class TestEdges:
+    def test_edge_payload(self, graph):
+        data = graph.edge(1, 2)
+        assert data.sign is Sign.POSITIVE
+        assert data.weight == 0.5
+
+    def test_sign_and_weight_accessors(self, graph):
+        assert graph.sign(2, 3) is Sign.NEGATIVE
+        assert graph.weight(2, 3) == 0.25
+
+    def test_add_edge_creates_endpoints(self):
+        g = SignedDiGraph()
+        g.add_edge("x", "y", -1, 0.1)
+        assert g.has_node("x") and g.has_node("y")
+
+    def test_add_edge_overwrite_keeps_edge_count(self, graph):
+        graph.add_edge(1, 2, -1, 0.9)
+        assert graph.number_of_edges() == 3
+        assert graph.sign(1, 2) is Sign.NEGATIVE
+
+    def test_invalid_sign_rejected(self, graph):
+        with pytest.raises(InvalidSignError):
+            graph.add_edge(1, 3, 0, 0.5)
+
+    @pytest.mark.parametrize("weight", [-0.1, 1.1, float("nan")])
+    def test_invalid_weight_rejected(self, graph, weight):
+        with pytest.raises(InvalidWeightError):
+            graph.add_edge(1, 3, 1, weight)
+
+    def test_remove_edge(self, graph):
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.number_of_edges() == 2
+
+    def test_remove_missing_edge_raises(self, graph):
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(1, 3)
+
+    def test_edge_missing_raises(self, graph):
+        with pytest.raises(EdgeNotFoundError):
+            graph.edge(3, 2)
+
+    def test_set_weight(self, graph):
+        graph.set_weight(1, 2, 0.75)
+        assert graph.weight(1, 2) == 0.75
+
+    def test_set_weight_validates(self, graph):
+        with pytest.raises(InvalidWeightError):
+            graph.set_weight(1, 2, 2.0)
+
+    def test_edges_listing(self, graph):
+        triples = graph.edges()
+        assert len(triples) == 3
+        assert all(isinstance(d, EdgeData) for _, _, d in triples)
+
+    def test_positive_and_negative_edges(self, graph):
+        assert {(u, v) for u, v, _ in graph.positive_edges()} == {(1, 2), (3, 1)}
+        assert {(u, v) for u, v, _ in graph.negative_edges()} == {(2, 3)}
+
+
+class TestNeighbourhoods:
+    def test_successors_predecessors(self, graph):
+        assert graph.successors(1) == [2]
+        assert graph.predecessors(1) == [3]
+
+    def test_degrees(self, graph):
+        assert graph.out_degree(1) == 1
+        assert graph.in_degree(1) == 1
+        assert graph.degree(1) == 2
+
+    def test_neighbors_union(self, graph):
+        assert sorted(graph.neighbors(1)) == [2, 3]
+
+    def test_missing_node_raises_everywhere(self, graph):
+        for method in (
+            graph.successors,
+            graph.predecessors,
+            graph.out_edges,
+            graph.in_edges,
+            graph.out_degree,
+            graph.in_degree,
+            graph.neighbors,
+        ):
+            with pytest.raises(NodeNotFoundError):
+                method(99)
+
+    def test_in_out_edges_payloads(self, graph):
+        (u, v, data), = graph.out_edges(1)
+        assert (u, v) == (1, 2) and data.weight == 0.5
+        (u, v, data), = graph.in_edges(1)
+        assert (u, v) == (3, 1) and data.weight == 1.0
+
+
+class TestWholeGraphOps:
+    def test_copy_is_deep(self, graph):
+        graph.set_state(1, NodeState.POSITIVE)
+        clone = graph.copy()
+        clone.set_weight(1, 2, 0.9)
+        clone.set_state(1, NodeState.NEGATIVE)
+        assert graph.weight(1, 2) == 0.5
+        assert graph.state(1) is NodeState.POSITIVE
+
+    def test_reverse_flips_directions_keeps_payloads(self, graph):
+        rev = graph.reverse()
+        assert rev.has_edge(2, 1) and not rev.has_edge(1, 2)
+        assert rev.sign(2, 1) is Sign.POSITIVE
+        assert rev.weight(2, 1) == 0.5
+
+    def test_reverse_preserves_states(self, graph):
+        graph.set_state(2, NodeState.NEGATIVE)
+        assert graph.reverse().state(2) is NodeState.NEGATIVE
+
+    def test_double_reverse_restores_edges(self, graph):
+        back = graph.reverse().reverse()
+        assert {(u, v) for u, v, _ in back.iter_edges()} == {
+            (u, v) for u, v, _ in graph.iter_edges()
+        }
+
+    def test_subgraph_induces_edges(self, graph):
+        sub = graph.subgraph([1, 2])
+        assert sub.has_edge(1, 2)
+        assert sub.number_of_edges() == 1
+        assert sub.number_of_nodes() == 2
+
+    def test_subgraph_unknown_node_raises(self, graph):
+        with pytest.raises(NodeNotFoundError):
+            graph.subgraph([1, 99])
+
+    def test_repr_mentions_counts(self, graph):
+        assert "3 nodes" in repr(graph)
+        assert "3 edges" in repr(graph)

@@ -1,0 +1,69 @@
+"""Unit tests for the shared primitive types."""
+
+import pytest
+
+from repro.types import INITIATOR_STATES, NodeState, Sign
+
+
+class TestSign:
+    def test_positive_value(self):
+        assert int(Sign.POSITIVE) == 1
+
+    def test_negative_value(self):
+        assert int(Sign.NEGATIVE) == -1
+
+    def test_from_value_positive(self):
+        assert Sign.from_value(1) is Sign.POSITIVE
+
+    def test_from_value_negative(self):
+        assert Sign.from_value(-1) is Sign.NEGATIVE
+
+    @pytest.mark.parametrize("bad", [0, 2, -2, 17])
+    def test_from_value_rejects_out_of_alphabet(self, bad):
+        with pytest.raises(ValueError):
+            Sign.from_value(bad)
+
+    def test_flipped_is_involution(self):
+        for sign in Sign:
+            assert sign.flipped().flipped() is sign
+
+    def test_sign_product_matches_paper_algebra(self):
+        assert Sign.POSITIVE * Sign.NEGATIVE == -1
+        assert Sign.NEGATIVE * Sign.NEGATIVE == 1
+
+
+class TestNodeState:
+    def test_alphabet_values(self):
+        assert int(NodeState.POSITIVE) == 1
+        assert int(NodeState.NEGATIVE) == -1
+        assert int(NodeState.INACTIVE) == 0
+        assert int(NodeState.UNKNOWN) == 2
+
+    def test_is_active_only_for_opinions(self):
+        assert NodeState.POSITIVE.is_active
+        assert NodeState.NEGATIVE.is_active
+        assert not NodeState.INACTIVE.is_active
+        assert not NodeState.UNKNOWN.is_active
+
+    def test_from_value_round_trip(self):
+        for state in NodeState:
+            assert NodeState.from_value(int(state)) is state
+
+    def test_from_value_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            NodeState.from_value(5)
+
+    def test_times_implements_mfc_update_rule(self):
+        # s(v) = s(u) * s_D(u, v)
+        assert NodeState.POSITIVE.times(Sign.POSITIVE) is NodeState.POSITIVE
+        assert NodeState.POSITIVE.times(Sign.NEGATIVE) is NodeState.NEGATIVE
+        assert NodeState.NEGATIVE.times(Sign.POSITIVE) is NodeState.NEGATIVE
+        assert NodeState.NEGATIVE.times(Sign.NEGATIVE) is NodeState.POSITIVE
+
+    @pytest.mark.parametrize("state", [NodeState.INACTIVE, NodeState.UNKNOWN])
+    def test_times_rejects_non_opinionated_source(self, state):
+        with pytest.raises(ValueError):
+            state.times(Sign.POSITIVE)
+
+    def test_initiator_states_are_the_binary_opinions(self):
+        assert set(INITIATOR_STATES) == {NodeState.POSITIVE, NodeState.NEGATIVE}
