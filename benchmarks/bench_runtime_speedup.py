@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Demonstrate the parallel runtime's speedup on Monte-Carlo estimation.
+
+Runs ``estimate_spread`` on a ~500-node synthetic signed graph, first
+serially and then with ``RuntimeConfig(workers=4)``, verifies the two
+estimates are bit-identical, and prints the wall-clock ratio.
+
+Run with:
+
+    PYTHONPATH=src python benchmarks/bench_runtime_speedup.py
+
+The achievable ratio is hardware-dependent: on a >= 4-core host the
+parallel run is expected to be >= 2x faster; on a 1-core container the
+process pool cannot beat the serial loop (expect ~1x or a slight
+regression from pickling overhead), which is why this is a script and
+not a pytest assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.diffusion.mfc import MFCModel
+from repro.diffusion.monte_carlo import estimate_spread
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.runtime import RuntimeConfig
+from repro.types import NodeState
+from repro.utils.rng import spawn_rng
+
+
+def build_graph(n: int = 500, out_degree: int = 4, seed: int = 7) -> SignedDiGraph:
+    """Random signed digraph: n nodes, ~n * out_degree edges."""
+    rng = spawn_rng(seed, "bench-graph")
+    g = SignedDiGraph()
+    for u in range(n):
+        for _ in range(out_degree):
+            v = rng.randrange(n)
+            if v == u:
+                continue
+            sign = 1 if rng.random() < 0.8 else -1
+            g.add_edge(u, v, sign, 0.05 + 0.3 * rng.random())
+    return g
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=500)
+    parser.add_argument("--trials", type=int, default=64)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    graph = build_graph(n=args.nodes, seed=args.seed)
+    model = MFCModel(alpha=2.0)
+    seeds = {i: NodeState.POSITIVE if i % 3 else NodeState.NEGATIVE for i in range(10)}
+
+    print(
+        "graph: %d nodes, %d edges; %d trials; host cpus: %s"
+        % (len(graph.nodes()), graph.number_of_edges(), args.trials, os.cpu_count())
+    )
+
+    t0 = time.perf_counter()
+    serial = estimate_spread(
+        model, graph, seeds, trials=args.trials, base_seed=args.seed
+    )
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = estimate_spread(
+        model,
+        graph,
+        seeds,
+        trials=args.trials,
+        base_seed=args.seed,
+        runtime=RuntimeConfig(workers=args.workers),
+    )
+    parallel_s = time.perf_counter() - t0
+
+    assert serial == parallel, "parallel estimate diverged from serial!"
+    print("serial:   %.3fs" % serial_s)
+    print("workers=%d: %.3fs" % (args.workers, parallel_s))
+    print("speedup:  %.2fx (bit-identical results)" % (serial_s / parallel_s))
+    if (os.cpu_count() or 1) < args.workers:
+        print(
+            "note: host has fewer cores than workers; the >= 2x target "
+            "needs a >= %d-core machine." % args.workers
+        )
+
+
+if __name__ == "__main__":
+    main()

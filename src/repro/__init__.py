@@ -56,6 +56,7 @@ from repro.graphs.generators import (
     generate_slashdot_like,
 )
 from repro.metrics import identity_metrics, state_metrics
+from repro.runtime import RuntimeConfig
 from repro.types import NodeState, Sign
 from repro.weights import assign_jaccard_weights
 
@@ -86,5 +87,6 @@ __all__ = [
     "RIDPositiveDetector",
     "identity_metrics",
     "state_metrics",
+    "RuntimeConfig",
     "__version__",
 ]

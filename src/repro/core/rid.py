@@ -197,6 +197,7 @@ class RID(Detector):
         solvers = []
         curves: List[List[float]] = []
         results_by_tree: List[List[TreeDPResult]] = []
+        tree_sizes: List[int] = []
         for tree in trees:
             binary = binarize_cascade_tree(
                 tree,
@@ -211,6 +212,7 @@ class RID(Detector):
             solvers.append(solver)
             results_by_tree.append(per_k)
             curves.append([result.score for result in per_k])
+            tree_sizes.append(binary.num_real)
 
         # Knapsack over trees: best[j] = max total score using exactly j
         # initiators over the trees processed so far; each tree consumes
@@ -251,7 +253,9 @@ class RID(Detector):
             initiators.update(result.initiators)
             self.last_selections.append(
                 TreeSelection(
-                    tree_size=trees[t].number_of_nodes(),
+                    # binary.num_real, matching select_initiators_for_tree —
+                    # the two entry points must report comparable sizes.
+                    tree_size=tree_sizes[t],
                     k=k,
                     score=result.score,
                     penalized_objective=result.score,

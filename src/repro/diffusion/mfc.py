@@ -9,8 +9,11 @@ two signature behaviours (Sec. III-A2):
    weight ``w``.
 2. **Flipping** — an already-active node ``v`` can have its state flipped
    by a *trusted* neighbour ``u`` (positive diffusion link ``u -> v``)
-   holding a different state. A flipped node re-enters the frontier and
-   gets its own chance to activate its neighbours again.
+   holding a different state. A flipped node re-enters the frontier so
+   its *new* state can propagate, but only across pairs it has not
+   already tried: the one-attempt-per-ordered-pair rule below applies to
+   flips exactly as to fresh activations, so a flip never re-rolls an
+   attempt that already happened.
 
 State update on success: ``s(v) = s(u) · s_D(u, v)``. Each ordered pair
 ``(u, v)`` is attempted at most once over the whole cascade, matching

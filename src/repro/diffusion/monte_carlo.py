@@ -3,16 +3,35 @@
 Repeated simulation with derived per-trial seeds, plus simple spread and
 state-mix estimators. Used by the MFC-vs-IC comparison (Figure 2 bench)
 and the α-sensitivity ablation.
+
+Trials are independent by construction — each derives its own seed via
+``derive_seed(base_seed, model.name, trial)`` — so they fan out over the
+:mod:`repro.runtime` process pool when the caller passes a
+``RuntimeConfig(workers > 1)``, with bit-identical results to serial
+execution. With a ``cache_dir`` configured, finished trials are stored
+in an on-disk JSON cache keyed by (graph, model params, seeds,
+base_seed, trial) and re-runs skip them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from statistics import mean, pstdev
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.diffusion.base import DiffusionModel, DiffusionResult
 from repro.graphs.signed_digraph import SignedDiGraph
+from repro.runtime.cache import (
+    TrialCache,
+    decode_diffusion_result,
+    encode_diffusion_result,
+    graph_digest,
+    model_digest,
+    seeds_digest,
+    stable_digest,
+)
+from repro.runtime.config import SERIAL, RuntimeConfig
+from repro.runtime.executor import TrialOutcome, run_trials
 from repro.types import Node, NodeState
 from repro.utils.rng import derive_seed
 
@@ -25,10 +44,13 @@ class SpreadEstimate:
         mean_infected: average final infected-set size.
         std_infected: population standard deviation of the size.
         mean_positive_fraction: average share of infected nodes ending
-            with state +1.
+            with state +1, taken over *non-empty* cascades only (an
+            empty cascade has no state mix to measure; counting it as
+            0.0 would silently bias the mean downward). 0.0 when every
+            cascade ended empty.
         mean_flips: average number of flip events per cascade.
         mean_rounds: average rounds to quiescence.
-        trials: number of simulations aggregated.
+        trials: number of simulations aggregated (including empty ones).
     """
 
     mean_infected: float
@@ -39,18 +61,62 @@ class SpreadEstimate:
     trials: int
 
 
+def _simulate_trial(payload, trial: int) -> DiffusionResult:
+    """One Monte-Carlo trial; module-level so process pools can import it.
+
+    The seed is derived *here*, from ``(base_seed, model.name, trial)``,
+    so workers reproduce exactly the stream a serial run would use.
+    """
+    model, diffusion, seeds, base_seed = payload
+    return model.run(diffusion, seeds, rng=derive_seed(base_seed, model.name, trial))
+
+
+def simulate_many_outcome(
+    model: DiffusionModel,
+    diffusion: SignedDiGraph,
+    seeds: Dict[Node, NodeState],
+    trials: int,
+    base_seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> TrialOutcome:
+    """Like :func:`simulate_many`, returning the execution report too."""
+    runtime = runtime or SERIAL
+    cache = key_fn = None
+    if runtime.cache_dir is not None:
+        cache = TrialCache(runtime.cache_dir)
+        world = stable_digest(
+            "simulate_many",
+            graph_digest(diffusion),
+            model_digest(model),
+            seeds_digest(seeds),
+            base_seed,
+        )
+        key_fn = lambda trial: stable_digest(world, trial)  # noqa: E731
+    return run_trials(
+        _simulate_trial,
+        (model, diffusion, seeds, base_seed),
+        range(trials),
+        config=runtime,
+        cache=cache,
+        key_fn=key_fn,
+        encode=encode_diffusion_result,
+        decode=decode_diffusion_result,
+        label=f"simulate:{model.name}",
+    )
+
+
 def simulate_many(
     model: DiffusionModel,
     diffusion: SignedDiGraph,
     seeds: Dict[Node, NodeState],
     trials: int,
     base_seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> List[DiffusionResult]:
     """Run ``trials`` independent cascades with derived deterministic seeds."""
-    return [
-        model.run(diffusion, seeds, rng=derive_seed(base_seed, model.name, trial))
-        for trial in range(trials)
-    ]
+    return simulate_many_outcome(
+        model, diffusion, seeds, trials, base_seed, runtime
+    ).results
 
 
 def estimate_spread(
@@ -59,9 +125,15 @@ def estimate_spread(
     seeds: Dict[Node, NodeState],
     trials: int = 20,
     base_seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> SpreadEstimate:
-    """Estimate expected spread and state mix of ``model`` from ``seeds``."""
-    results = simulate_many(model, diffusion, seeds, trials, base_seed)
+    """Estimate expected spread and state mix of ``model`` from ``seeds``.
+
+    Convention: ``mean_positive_fraction`` averages over non-empty
+    cascades only (see :class:`SpreadEstimate`); ``trials`` still counts
+    every simulation.
+    """
+    results = simulate_many(model, diffusion, seeds, trials, base_seed, runtime)
     sizes = [float(r.num_infected()) for r in results]
     positive_fractions = []
     flips = []
@@ -72,13 +144,11 @@ def estimate_spread(
                 1 for n in infected if r.final_states[n] is NodeState.POSITIVE
             )
             positive_fractions.append(positives / len(infected))
-        else:
-            positive_fractions.append(0.0)
         flips.append(float(sum(1 for e in r.events if e.was_flip)))
     return SpreadEstimate(
         mean_infected=mean(sizes),
         std_infected=pstdev(sizes) if len(sizes) > 1 else 0.0,
-        mean_positive_fraction=mean(positive_fractions),
+        mean_positive_fraction=mean(positive_fractions) if positive_fractions else 0.0,
         mean_flips=mean(flips),
         mean_rounds=mean(float(r.rounds) for r in results),
         trials=trials,

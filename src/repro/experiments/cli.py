@@ -29,6 +29,7 @@ from repro.experiments import (
     sweeps,
     table2,
 )
+from repro.runtime.config import RuntimeConfig
 
 ARTEFACTS = (
     "table2",
@@ -61,22 +62,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--trials", type=int, default=2, help="trials to average over")
     parser.add_argument("--seed", type=int, default=7, help="master random seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for trial fan-out (1 = serial; results are "
+        "bit-identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk trial cache (default: no caching)",
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Dispatch to the requested experiment module."""
     args = build_parser().parse_args(argv)
+    runtime = RuntimeConfig(workers=args.workers, cache_dir=args.cache_dir)
+    runtime.validate()
     if args.artefact in ("table2", "all"):
         table2.main(scale=args.scale, seed=args.seed)
     if args.artefact in ("fig2", "all"):
-        fig2.main(seed=args.seed)
+        fig2.main(seed=args.seed, runtime=runtime)
     if args.artefact in ("fig4", "all"):
-        fig4.main(scale=args.scale, trials=args.trials, seed=args.seed)
+        fig4.main(scale=args.scale, trials=args.trials, seed=args.seed, runtime=runtime)
     if args.artefact in ("fig5", "all"):
-        fig5.main(scale=args.scale, trials=args.trials, seed=args.seed)
+        fig5.main(scale=args.scale, trials=args.trials, seed=args.seed, runtime=runtime)
     if args.artefact in ("fig6", "all"):
-        fig6.main(scale=args.scale, trials=args.trials, seed=args.seed)
+        fig6.main(scale=args.scale, trials=args.trials, seed=args.seed, runtime=runtime)
     if args.artefact in ("lemma31", "all"):
         lemma31.main(seed=args.seed)
     if args.artefact in ("ablations", "all"):

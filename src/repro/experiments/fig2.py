@@ -16,10 +16,13 @@ models and reports them side by side.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.diffusion.ic import ICModel
 from repro.diffusion.mfc import MFCModel
 from repro.graphs.signed_digraph import SignedDiGraph
+from repro.runtime.config import SERIAL, RuntimeConfig
+from repro.runtime.executor import run_trials
 from repro.types import NodeState
 from repro.utils.rng import derive_seed
 
@@ -70,36 +73,48 @@ def build_sequential_gadget(weight: float = 0.9) -> SignedDiGraph:
     return gadget
 
 
-def run(alpha: float = 3.0, trials: int = 2000, seed: int = 7) -> Fig2Result:
+def _fig2_trial(payload, trial: int) -> Tuple[bool, bool, bool, bool]:
+    """One Monte-Carlo trial of all four scenario/model combinations.
+
+    Seeds derive from the same ``(seed, label, trial)`` tuples a serial
+    loop would use, so parallel counts match serial ones exactly.
+    """
+    mfc, ic, simultaneous, seeds, sequential, seq_seeds, seed = payload
+    result = mfc.run(simultaneous, seeds, rng=derive_seed(seed, "sim-mfc", trial))
+    sim_mfc = result.final_states.get("A") is NodeState.POSITIVE
+    result = ic.run(simultaneous, seeds, rng=derive_seed(seed, "sim-ic", trial))
+    sim_ic = result.final_states.get("A") is NodeState.POSITIVE
+    result = mfc.run(sequential, seq_seeds, rng=derive_seed(seed, "seq-mfc", trial))
+    seq_mfc = result.final_states.get("G") is NodeState.POSITIVE
+    result = ic.run(sequential, seq_seeds, rng=derive_seed(seed, "seq-ic", trial))
+    # Under IC, G positive requires H to have won the first activation.
+    seq_ic = any(e.was_flip and e.target == "G" for e in result.events)
+    return sim_mfc, sim_ic, seq_mfc, seq_ic
+
+
+def run(
+    alpha: float = 3.0,
+    trials: int = 2000,
+    seed: int = 7,
+    runtime: Optional[RuntimeConfig] = None,
+) -> Fig2Result:
     """Estimate the Figure 2 contrast probabilities."""
-    mfc = MFCModel(alpha=alpha)
-    ic = ICModel()
-
-    simultaneous = build_simultaneous_gadget()
-    seeds = {s: NodeState.POSITIVE for s in ("B", "C", "D", "E")}
-    mfc_positive = ic_positive = 0
-    for trial in range(trials):
-        result = mfc.run(simultaneous, seeds, rng=derive_seed(seed, "sim-mfc", trial))
-        if result.final_states.get("A") is NodeState.POSITIVE:
-            mfc_positive += 1
-        result = ic.run(simultaneous, seeds, rng=derive_seed(seed, "sim-ic", trial))
-        if result.final_states.get("A") is NodeState.POSITIVE:
-            ic_positive += 1
-
-    sequential = build_sequential_gadget()
-    seq_seeds = {"S": NodeState.POSITIVE}
-    mfc_flipped = ic_flipped = 0
-    for trial in range(trials):
-        result = mfc.run(sequential, seq_seeds, rng=derive_seed(seed, "seq-mfc", trial))
-        if result.final_states.get("G") is NodeState.POSITIVE:
-            mfc_flipped += 1
-        result = ic.run(sequential, seq_seeds, rng=derive_seed(seed, "seq-ic", trial))
-        # Under IC, G positive requires H to have won the first activation.
-        flipped = any(
-            e.was_flip and e.target == "G" for e in result.events
-        )
-        if flipped:
-            ic_flipped += 1
+    payload = (
+        MFCModel(alpha=alpha),
+        ICModel(),
+        build_simultaneous_gadget(),
+        {s: NodeState.POSITIVE for s in ("B", "C", "D", "E")},
+        build_sequential_gadget(),
+        {"S": NodeState.POSITIVE},
+        seed,
+    )
+    outcome = run_trials(
+        _fig2_trial, payload, range(trials), config=runtime or SERIAL, label="fig2"
+    )
+    mfc_positive = sum(1 for r in outcome.results if r[0])
+    ic_positive = sum(1 for r in outcome.results if r[1])
+    mfc_flipped = sum(1 for r in outcome.results if r[2])
+    ic_flipped = sum(1 for r in outcome.results if r[3])
 
     return Fig2Result(
         simultaneous_mfc_positive=mfc_positive / trials,
@@ -110,9 +125,14 @@ def run(alpha: float = 3.0, trials: int = 2000, seed: int = 7) -> Fig2Result:
     )
 
 
-def main(alpha: float = 3.0, trials: int = 2000, seed: int = 7) -> Fig2Result:
+def main(
+    alpha: float = 3.0,
+    trials: int = 2000,
+    seed: int = 7,
+    runtime: Optional[RuntimeConfig] = None,
+) -> Fig2Result:
     """Run and print the Figure 2 contrast."""
-    result = run(alpha=alpha, trials=trials, seed=seed)
+    result = run(alpha=alpha, trials=trials, seed=seed, runtime=runtime)
     print(
         "Fig. 2 (simultaneous): P(A takes trusted E's state) "
         f"MFC={result.simultaneous_mfc_positive:.3f} vs IC={result.simultaneous_ic_positive:.3f}"

@@ -12,13 +12,14 @@ with higher recall (~0.42); RID's F1 above both baselines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.baselines import Detector, RIDPositiveDetector, RIDTreeDetector
 from repro.core.rid import RID, RIDConfig
 from repro.experiments.config import WorkloadConfig
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import AggregatedEvaluation, run_detection_trials
+from repro.runtime.config import RuntimeConfig
 
 #: Paper-reported reference points (Epinions, Fig. 4a-4c narrative).
 PAPER_REFERENCE = {
@@ -49,13 +50,15 @@ def run(
     trials: int = 3,
     seed: int = 7,
     datasets: tuple = ("epinions", "slashdot"),
+    runtime: Optional[RuntimeConfig] = None,
 ) -> Fig4Result:
     """Run the Fig. 4 comparison on both networks."""
     per_network: Dict[str, Dict[str, AggregatedEvaluation]] = {}
     for dataset in datasets:
         config = WorkloadConfig(dataset=dataset, scale=scale, seed=seed)
         per_network[dataset] = run_detection_trials(
-            config, detector_factories(alpha=config.alpha), trials=trials
+            config, detector_factories(alpha=config.alpha), trials=trials,
+            runtime=runtime,
         )
     return Fig4Result(per_network=per_network)
 
@@ -93,8 +96,13 @@ def render(result: Fig4Result) -> str:
     return "\n\n".join(blocks)
 
 
-def main(scale: float = 0.01, trials: int = 3, seed: int = 7) -> Fig4Result:
+def main(
+    scale: float = 0.01,
+    trials: int = 3,
+    seed: int = 7,
+    runtime: Optional[RuntimeConfig] = None,
+) -> Fig4Result:
     """Run and print the Figure 4 comparison."""
-    result = run(scale=scale, trials=trials, seed=seed)
+    result = run(scale=scale, trials=trials, seed=seed, runtime=runtime)
     print(render(result))
     return result

@@ -11,17 +11,20 @@ falls, and F1 generally increases.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.rid import RID, RIDConfig
 from repro.experiments.config import WorkloadConfig
 from repro.experiments.reporting import format_series, format_table
 from repro.experiments.runner import (
     AggregatedEvaluation,
+    DetectorEvaluation,
     aggregate_evaluations,
     evaluate_detector,
 )
 from repro.experiments.workload import build_workload
+from repro.runtime.config import SERIAL, RuntimeConfig
+from repro.runtime.executor import run_trials
 
 DEFAULT_BETAS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
 
@@ -34,29 +37,46 @@ class BetaSweepResult:
     per_network: Dict[str, List[AggregatedEvaluation]]
 
 
+def _beta_point(payload, spec: Tuple[float, int]) -> DetectorEvaluation:
+    """Evaluate RID at one (β, workload) grid point (detection is
+    deterministic, so grid points parallelise freely)."""
+    alpha, workloads = payload
+    beta, workload_index = spec
+    return evaluate_detector(
+        RID(RIDConfig(alpha=alpha, beta=beta)), workloads[workload_index]
+    )
+
+
 def run(
     scale: float = 0.01,
     trials: int = 2,
     seed: int = 7,
     betas: Sequence[float] = DEFAULT_BETAS,
     datasets: tuple = ("epinions", "slashdot"),
+    runtime: Optional[RuntimeConfig] = None,
 ) -> BetaSweepResult:
     """Sweep β on both networks.
 
     Workloads are built once per (dataset, trial) and reused across β
-    values, so the sweep isolates the penalty's effect.
+    values, so the sweep isolates the penalty's effect. The (β, trial)
+    grid fans out over worker processes when ``runtime.workers > 1``.
     """
     per_network: Dict[str, List[AggregatedEvaluation]] = {}
     for dataset in datasets:
         config = WorkloadConfig(dataset=dataset, scale=scale, seed=seed)
         workloads = [build_workload(config, trial=t) for t in range(trials)]
+        specs = [(beta, t) for beta in betas for t in range(len(workloads))]
+        outcome = run_trials(
+            _beta_point,
+            (config.alpha, workloads),
+            specs,
+            config=runtime or SERIAL,
+            label=f"fig5:{dataset}",
+        )
         series: List[AggregatedEvaluation] = []
-        for beta in betas:
-            evaluations = [
-                evaluate_detector(
-                    RID(RIDConfig(alpha=config.alpha, beta=beta)), workload
-                )
-                for workload in workloads
+        for i, beta in enumerate(betas):
+            evaluations = outcome.results[
+                i * len(workloads) : (i + 1) * len(workloads)
             ]
             series.append(aggregate_evaluations(evaluations))
         per_network[dataset] = series
@@ -90,8 +110,13 @@ def render(result: BetaSweepResult) -> str:
     return "\n\n".join(blocks)
 
 
-def main(scale: float = 0.01, trials: int = 2, seed: int = 7) -> BetaSweepResult:
+def main(
+    scale: float = 0.01,
+    trials: int = 2,
+    seed: int = 7,
+    runtime: Optional[RuntimeConfig] = None,
+) -> BetaSweepResult:
     """Run and print the Figure 5 sweep."""
-    result = run(scale=scale, trials=trials, seed=seed)
+    result = run(scale=scale, trials=trials, seed=seed, runtime=runtime)
     print(render(result))
     return result

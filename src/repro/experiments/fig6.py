@@ -10,11 +10,12 @@ Shape expectations (Sec. IV-D1): accuracy rises with β (approaching
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.fig5 import BetaSweepResult, DEFAULT_BETAS
 from repro.experiments.fig5 import run as run_sweep
 from repro.experiments.reporting import format_table
+from repro.runtime.config import RuntimeConfig
 
 
 def run(
@@ -23,9 +24,13 @@ def run(
     seed: int = 7,
     betas: Sequence[float] = DEFAULT_BETAS,
     datasets: tuple = ("epinions", "slashdot"),
+    runtime: Optional[RuntimeConfig] = None,
 ) -> BetaSweepResult:
     """Same sweep as Figure 5; Figure 6 reads the state metrics."""
-    return run_sweep(scale=scale, trials=trials, seed=seed, betas=betas, datasets=datasets)
+    return run_sweep(
+        scale=scale, trials=trials, seed=seed, betas=betas, datasets=datasets,
+        runtime=runtime,
+    )
 
 
 def render(result: BetaSweepResult) -> str:
@@ -46,8 +51,13 @@ def render(result: BetaSweepResult) -> str:
     return "\n\n".join(blocks)
 
 
-def main(scale: float = 0.01, trials: int = 2, seed: int = 7) -> BetaSweepResult:
+def main(
+    scale: float = 0.01,
+    trials: int = 2,
+    seed: int = 7,
+    runtime: Optional[RuntimeConfig] = None,
+) -> BetaSweepResult:
     """Run and print the Figure 6 sweep."""
-    result = run(scale=scale, trials=trials, seed=seed)
+    result = run(scale=scale, trials=trials, seed=seed, runtime=runtime)
     print(render(result))
     return result

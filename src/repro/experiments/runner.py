@@ -1,17 +1,29 @@
-"""Detector evaluation and multi-trial aggregation."""
+"""Detector evaluation and multi-trial aggregation.
+
+Trials are independent (each builds its own workload from
+``(config, trial)``), so :func:`run_detection_trials` fans them out over
+the :mod:`repro.runtime` process pool when given a
+``RuntimeConfig(workers > 1)``. Detector *instances* — not the factory
+closures, which are rarely picklable — are constructed in the parent and
+shipped to workers, preserving the construction-per-trial semantics.
+Parallel aggregation is bit-identical to serial execution except for the
+measured wall-clock ``seconds``.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
 from statistics import mean
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.baselines import DetectionResult, Detector
 from repro.experiments.config import WorkloadConfig
 from repro.experiments.workload import Workload, build_workload
 from repro.metrics.identity import IdentityMetrics, identity_metrics
 from repro.metrics.state import StateMetrics, state_metrics
+from repro.runtime.config import SERIAL, RuntimeConfig
+from repro.runtime.executor import run_trials
 
 
 @dataclass
@@ -91,20 +103,43 @@ def aggregate_evaluations(evaluations: Sequence[DetectorEvaluation]) -> Aggregat
     )
 
 
+def _detection_trial(
+    config: WorkloadConfig,
+    spec: Tuple[int, List[Tuple[str, Detector]]],
+) -> List[Tuple[str, DetectorEvaluation]]:
+    """One detection trial: build the workload, score every detector on it."""
+    trial, detectors = spec
+    workload = build_workload(config, trial=trial)
+    return [(name, evaluate_detector(detector, workload)) for name, detector in detectors]
+
+
 def run_detection_trials(
     config: WorkloadConfig,
     detector_factories: Dict[str, Callable[[], Detector]],
     trials: int = 3,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> Dict[str, AggregatedEvaluation]:
     """Evaluate each detector factory over ``trials`` derived workloads.
 
     Detectors are constructed fresh per trial (they may carry per-run
     diagnostics); all detectors see the *same* workload in each trial so
-    comparisons are paired.
+    comparisons are paired. With ``runtime.workers > 1`` whole trials run
+    in parallel worker processes (falling back to serial when a detector
+    instance cannot be pickled).
     """
+    specs = [
+        (trial, [(name, factory()) for name, factory in detector_factories.items()])
+        for trial in range(trials)
+    ]
+    outcome = run_trials(
+        _detection_trial,
+        config,
+        specs,
+        config=runtime or SERIAL,
+        label="detection-trials",
+    )
     per_method: Dict[str, List[DetectorEvaluation]] = {name: [] for name in detector_factories}
-    for trial in range(trials):
-        workload = build_workload(config, trial=trial)
-        for name, factory in detector_factories.items():
-            per_method[name].append(evaluate_detector(factory(), workload))
+    for trial_result in outcome.results:
+        for name, evaluation in trial_result:
+            per_method[name].append(evaluation)
     return {name: aggregate_evaluations(evs) for name, evs in per_method.items()}

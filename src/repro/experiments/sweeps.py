@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.baselines import Detector
 from repro.core.rid import RID, RIDConfig
@@ -29,6 +29,8 @@ from repro.experiments.workload import build_workload
 from repro.errors import ConfigError
 from repro.metrics.identity import identity_metrics
 from repro.metrics.state import state_metrics
+from repro.runtime.config import SERIAL, RuntimeConfig
+from repro.runtime.executor import run_trials
 
 
 @dataclass
@@ -46,21 +48,51 @@ class SweepPoint:
     flips: int
 
 
+def _sweep_point(payload, spec: Tuple[object, Detector]) -> SweepPoint:
+    """Build one swept workload and score one detector on it."""
+    field, base, trial = payload
+    value, detector = spec
+    config = dataclasses.replace(base, **{field: value})
+    workload = build_workload(config, trial=trial)
+    truth = set(workload.seeds)
+    result = detector.detect(workload.infected)
+    identity = identity_metrics(result.initiators, truth)
+    accuracy: Optional[float] = None
+    if result.states:
+        state = state_metrics(result.states, workload.seeds)
+        accuracy = state.accuracy if state.evaluated else None
+    return SweepPoint(
+        value=value,
+        infected=workload.infected.number_of_nodes(),
+        num_truth=len(truth),
+        num_detected=len(result.initiators),
+        precision=identity.precision,
+        recall=identity.recall,
+        f1=identity.f1,
+        state_accuracy=accuracy,
+        flips=sum(1 for e in workload.cascade.events if e.was_flip),
+    )
+
+
 def sweep_workload_parameter(
     field: str,
     values: Sequence[object],
     detector_factory: Callable[[], Detector],
     base_config: Optional[WorkloadConfig] = None,
     trial: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> List[SweepPoint]:
     """Vary one :class:`WorkloadConfig` field and detect at each value.
 
     Args:
         field: name of the config dataclass field to sweep.
         values: the values to substitute.
-        detector_factory: builds a fresh detector per point.
+        detector_factory: builds a fresh detector per point (the
+            instances, not the factory, are shipped to workers when
+            ``runtime.workers > 1``).
         base_config: configuration for the non-swept fields.
         trial: workload trial index (fixed across the sweep).
+        runtime: trial-execution configuration; None runs serially.
 
     Raises:
         ConfigError: when ``field`` is not a WorkloadConfig field.
@@ -68,31 +100,15 @@ def sweep_workload_parameter(
     base = base_config or WorkloadConfig()
     if field not in {f.name for f in dataclasses.fields(WorkloadConfig)}:
         raise ConfigError(f"unknown WorkloadConfig field {field!r}")
-    points: List[SweepPoint] = []
-    for value in values:
-        config = dataclasses.replace(base, **{field: value})
-        workload = build_workload(config, trial=trial)
-        truth = set(workload.seeds)
-        result = detector_factory().detect(workload.infected)
-        identity = identity_metrics(result.initiators, truth)
-        accuracy: Optional[float] = None
-        if result.states:
-            state = state_metrics(result.states, workload.seeds)
-            accuracy = state.accuracy if state.evaluated else None
-        points.append(
-            SweepPoint(
-                value=value,
-                infected=workload.infected.number_of_nodes(),
-                num_truth=len(truth),
-                num_detected=len(result.initiators),
-                precision=identity.precision,
-                recall=identity.recall,
-                f1=identity.f1,
-                state_accuracy=accuracy,
-                flips=sum(1 for e in workload.cascade.events if e.was_flip),
-            )
-        )
-    return points
+    specs = [(value, detector_factory()) for value in values]
+    outcome = run_trials(
+        _sweep_point,
+        (field, base, trial),
+        specs,
+        config=runtime or SERIAL,
+        label=f"sweep:{field}",
+    )
+    return outcome.results
 
 
 def render_sweep(field: str, points: List[SweepPoint]) -> str:

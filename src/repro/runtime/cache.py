@@ -1,0 +1,176 @@
+"""Content-addressed on-disk JSON cache for per-trial results.
+
+A cached trial is keyed by a stable :func:`blake2b <hashlib.blake2b>`
+digest of everything that determines its outcome — the graph (nodes,
+states, signs, weights), the model parameters, the seed assignment, the
+base seed and the trial index — so a key hit is safe to reuse across
+runs and processes. Payloads are plain JSON; node identifiers are
+stored as ``[typecode, value]`` pairs so integer and string nodes
+round-trip without ambiguity. Anything else (tuples, frozensets, …)
+raises :class:`CacheCodecError` and the executor simply skips caching
+that trial instead of failing the run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.diffusion.base import ActivationEvent, DiffusionResult
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import Node, NodeState
+
+
+class CacheCodecError(TypeError):
+    """A value cannot be represented in the JSON trial cache."""
+
+
+def stable_digest(*parts: object) -> str:
+    """A cross-platform hex digest of ``parts``.
+
+    ``repr`` of ints/floats/strings/tuples is stable across CPython
+    platforms and sessions (unlike ``hash``), and blake2b is part of
+    the standard library everywhere we run.
+    """
+    material = "\x1f".join(repr(p) for p in parts).encode("utf-8")
+    return hashlib.blake2b(material, digest_size=16).hexdigest()
+
+
+def graph_digest(graph: SignedDiGraph) -> str:
+    """Digest of a graph's full content (topology, signs, weights, states)."""
+    h = hashlib.blake2b(digest_size=16)
+    for node in sorted(graph.nodes(), key=repr):
+        h.update(repr((node, int(graph.state(node)))).encode("utf-8"))
+    for u, v, data in sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1]))):
+        h.update(repr((u, v, int(data.sign), data.weight)).encode("utf-8"))
+    return h.hexdigest()
+
+
+def model_digest(model: object) -> str:
+    """Digest of a diffusion model's identity and parameters."""
+    name = getattr(model, "name", type(model).__name__)
+    params = tuple(sorted((k, repr(v)) for k, v in vars(model).items()))
+    return stable_digest(name, params)
+
+
+def seeds_digest(seeds: Dict[Node, NodeState]) -> str:
+    """Digest of a seed assignment."""
+    return stable_digest(tuple(sorted(((repr(n), int(s)) for n, s in seeds.items()))))
+
+
+# ---------------------------------------------------------------------------
+# Node / DiffusionResult JSON codec
+# ---------------------------------------------------------------------------
+
+
+def _encode_node(node: Node) -> List[Any]:
+    if isinstance(node, bool) or not isinstance(node, (int, str)):
+        raise CacheCodecError(
+            f"only int and str nodes are cacheable, got {type(node).__name__}"
+        )
+    return ["i", node] if isinstance(node, int) else ["s", node]
+
+
+def _decode_node(pair: List[Any]) -> Node:
+    code, value = pair
+    return int(value) if code == "i" else str(value)
+
+
+def encode_diffusion_result(result: DiffusionResult) -> dict:
+    """JSON-ready encoding of a :class:`DiffusionResult`.
+
+    Raises:
+        CacheCodecError: when a node identifier is not int or str.
+    """
+    return {
+        "seeds": [[_encode_node(n), int(s)] for n, s in result.seeds.items()],
+        "final_states": [
+            [_encode_node(n), int(s)] for n, s in result.final_states.items()
+        ],
+        "events": [
+            [
+                e.round,
+                None if e.source is None else _encode_node(e.source),
+                _encode_node(e.target),
+                int(e.state),
+                bool(e.was_flip),
+            ]
+            for e in result.events
+        ],
+        "rounds": result.rounds,
+    }
+
+
+def decode_diffusion_result(payload: dict) -> DiffusionResult:
+    """Inverse of :func:`encode_diffusion_result`."""
+    return DiffusionResult(
+        seeds={_decode_node(n): NodeState(s) for n, s in payload["seeds"]},
+        final_states={
+            _decode_node(n): NodeState(s) for n, s in payload["final_states"]
+        },
+        events=[
+            ActivationEvent(
+                round=rnd,
+                source=None if src is None else _decode_node(src),
+                target=_decode_node(tgt),
+                state=NodeState(state),
+                was_flip=flip,
+            )
+            for rnd, src, tgt, state, flip in payload["events"]
+        ],
+        rounds=payload["rounds"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+
+class TrialCache:
+    """A directory of ``<key>.json`` files, one per cached trial.
+
+    Writes go through a temp file + :func:`os.replace` so a crashed or
+    concurrent run never leaves a torn payload behind; corrupt or
+    unreadable entries behave as misses.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[dict]:
+        """The cached payload for ``key``, or None on a miss."""
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def store(self, key: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        fd, tmp = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

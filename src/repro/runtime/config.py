@@ -1,0 +1,59 @@
+"""The shared configuration bundle of the trial-execution runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """How independent trials are executed.
+
+    Attributes:
+        workers: process count for trial fan-out. ``1`` (default) runs
+            everything serially in-process; ``workers > 1`` uses a
+            :class:`concurrent.futures.ProcessPoolExecutor`. Parallel
+            runs are bit-identical to serial ones because every trial
+            derives its own seed from ``(base_seed, labels, trial)``
+            inside the worker.
+        cache_dir: optional directory for the on-disk JSON trial cache.
+            ``None`` disables caching.
+        chunk_size: trials shipped to a worker per task, amortising the
+            cost of pickling the graph/model payload. ``None`` picks
+            ``ceil(trials / (4 * workers))`` so each worker sees ~4
+            chunks for decent load balancing.
+    """
+
+    workers: int = 1
+    cache_dir: Optional[Union[str, Path]] = None
+    chunk_size: Optional[int] = None
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on out-of-range settings."""
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigError(
+                f"chunk_size must be >= 1 or None, got {self.chunk_size}"
+            )
+
+    @property
+    def parallel(self) -> bool:
+        """True when this configuration requests a process pool."""
+        return self.workers > 1
+
+    def resolve_chunk_size(self, num_trials: int) -> int:
+        """The chunk size actually used for ``num_trials`` trials."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if not self.parallel:
+            return max(1, num_trials)
+        return max(1, -(-num_trials // (4 * self.workers)))
+
+
+#: Module-wide default: serial, uncached.
+SERIAL = RuntimeConfig()

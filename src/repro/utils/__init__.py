@@ -1,7 +1,7 @@
 """Small self-contained utilities shared across the library."""
 
 from repro.utils.disjoint_set import DisjointSet
-from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.rng import RandomSource, derive_seed, spawn_rng
 from repro.utils.validation import (
     check_probability,
     check_sign_value,
@@ -12,6 +12,7 @@ from repro.utils.validation import (
 __all__ = [
     "DisjointSet",
     "RandomSource",
+    "derive_seed",
     "spawn_rng",
     "check_probability",
     "check_sign_value",

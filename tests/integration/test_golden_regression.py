@@ -19,29 +19,33 @@ def make_workload():
 
 class TestGoldenPipeline:
     def test_workload_shape_pinned(self):
+        # Pins re-derived when derive_seed moved to the full-width
+        # blake2b digest (the weak crc32/shift mixing could collide
+        # distinct base seeds); the network shape is count-driven and
+        # unchanged, the cascade stream legitimately shifted.
         workload = make_workload()
         assert workload.diffusion.number_of_nodes() == 395
         assert workload.diffusion.number_of_edges() == 2525
         assert len(workload.seeds) == 40
-        assert workload.infected.number_of_nodes() == 317
+        assert workload.infected.number_of_nodes() == 308
         assert workload.cascade.rounds == 4
 
     def test_seed_identities_pinned(self):
         workload = make_workload()
-        assert sorted(workload.seeds)[:5] == [1, 13, 25, 53, 54]
+        assert sorted(workload.seeds)[:5] == [3, 4, 19, 25, 33]
 
     def test_rid_tree_detection_pinned(self):
         workload = make_workload()
         result = RIDTreeDetector().detect(workload.infected)
         assert result.initiators == set(sorted(result.initiators))  # stable type
-        assert len(result.initiators) == 13
+        assert len(result.initiators) == 5
 
     def test_rid_detection_pinned(self):
         workload = make_workload()
         result = RID(RIDConfig(beta=0.8)).detect(workload.infected)
         # Pin the size and a couple of members rather than the whole set,
         # so failure messages stay readable.
-        assert len(result.initiators) == 14
+        assert len(result.initiators) == 5
         tree_roots = RIDTreeDetector(prune_inconsistent=True).detect(
             workload.infected
         )

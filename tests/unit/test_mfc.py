@@ -140,6 +140,31 @@ class TestFlipping:
         assert result.final_states["g"] is NodeState.NEGATIVE
         assert not any(e.was_flip for e in result.events)
 
+    def test_flipped_node_does_not_reattempt_exhausted_pairs(self):
+        """One attempt per ordered pair, even after a flip.
+
+        A is activated POSITIVE and immediately spreads to B; a round
+        later R flips A to NEGATIVE. A re-enters the frontier, but the
+        (A, B) pair is already exhausted, so B must keep the POSITIVE
+        state from A's first (pre-flip) attempt — a flipped node never
+        re-rolls pairs it already tried.
+        """
+        g = SignedDiGraph()
+        g.add_edge("P", "A", 1, 1.0)   # round 1: A := +
+        g.add_edge("A", "B", 1, 1.0)   # round 2: B := + (the only attempt)
+        g.add_edge("Q", "R", 1, 1.0)   # round 1: R := -
+        g.add_edge("R", "A", 1, 1.0)   # round 2: trusted flip, A := -
+        result = MFCModel(alpha=3.0).run(
+            g, {"P": NodeState.POSITIVE, "Q": NodeState.NEGATIVE}, rng=5
+        )
+        assert result.final_states["A"] is NodeState.NEGATIVE
+        assert any(e.was_flip and e.target == "A" for e in result.events)
+        # B saw exactly one attempt and keeps A's pre-flip state.
+        b_events = [e for e in result.events if e.target == "B"]
+        assert len(b_events) == 1
+        assert not b_events[0].was_flip
+        assert result.final_states["B"] is NodeState.POSITIVE
+
     def test_same_state_trusted_neighbor_does_not_reattempt(self):
         g = SignedDiGraph()
         g.add_edge("a", "g", 1, 1.0)

@@ -142,3 +142,72 @@ class TestRIDPositiveDetector:
         tree = RIDTreeDetector().detect(infected)
         positive = RIDPositiveDetector().detect(infected)
         assert len(positive.initiators) >= len(tree.initiators)
+
+
+class TestGreedyKSearchTies:
+    """Pin the greedy scan's behaviour when the penalised objective ties.
+
+    The paper heuristic stops at the first k that *fails to improve* the
+    penalised objective. An equal objective at k+1 is not an improvement,
+    so greedy must stop there — even when a strictly better k hides
+    beyond the tie. These tests drive a stubbed DP with a controlled
+    score curve to make the tie exact.
+    """
+
+    #: score curve: objective(k) = score - (k-1)*beta with beta = 0.1
+    #: k=1 -> 1.0, k=2 -> 1.0 (exact tie), k=3 -> 1.8 (hidden optimum).
+    SCORES = {1: 1.0, 2: 1.1, 3: 2.0}
+
+    def _stub_dp(self, monkeypatch):
+        import repro.core.rid as rid_module
+        from repro.core.tree_dp import TreeDPResult
+
+        scores = self.SCORES
+
+        class StubBinary:
+            num_real = 3
+
+        class StubSolver:
+            def __init__(self, binary):
+                self.binary = binary
+
+            def solve(self, k):
+                return TreeDPResult(
+                    k=k,
+                    score=scores[k],
+                    initiators={f"n{i}": NodeState.POSITIVE for i in range(k)},
+                )
+
+        monkeypatch.setattr(
+            rid_module, "binarize_cascade_tree", lambda tree, alpha, inconsistent_value=0.0: StubBinary()
+        )
+        monkeypatch.setattr(rid_module, "KIsomitBTSolver", StubSolver)
+
+    def test_tie_at_k_plus_one_stops_greedy(self, monkeypatch):
+        self._stub_dp(monkeypatch)
+        detector = RID(RIDConfig(beta=0.1, k_strategy="greedy"))
+        selection = detector.select_initiators_for_tree(SignedDiGraph())
+        # k=2 ties k=1 (1.0 == 1.0): not an improvement, scan stops.
+        assert selection.k == 1
+        assert selection.scanned_k == 2
+        assert selection.penalized_objective == pytest.approx(1.0)
+
+    def test_exhaustive_scans_past_the_tie(self, monkeypatch):
+        self._stub_dp(monkeypatch)
+        detector = RID(RIDConfig(beta=0.1, k_strategy="exhaustive"))
+        selection = detector.select_initiators_for_tree(SignedDiGraph())
+        # Exhaustive reaches the hidden optimum at k=3.
+        assert selection.k == 3
+        assert selection.scanned_k == 3
+        assert selection.penalized_objective == pytest.approx(1.8)
+
+    def test_greedy_vs_exhaustive_disagreement_is_the_tie_cost(self, monkeypatch):
+        self._stub_dp(monkeypatch)
+        greedy = RID(RIDConfig(beta=0.1, k_strategy="greedy")).select_initiators_for_tree(
+            SignedDiGraph()
+        )
+        exhaustive = RID(
+            RIDConfig(beta=0.1, k_strategy="exhaustive")
+        ).select_initiators_for_tree(SignedDiGraph())
+        assert exhaustive.penalized_objective > greedy.penalized_objective
+        assert greedy.k < exhaustive.k

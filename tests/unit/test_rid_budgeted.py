@@ -88,3 +88,45 @@ class TestBudgetedDetection:
         assert len(result.initiators) == 2
         with pytest.raises(ConfigError):
             detector.detect_with_budget(two_tree_snapshot(), budget=3)
+
+
+class TestDiagnosticsConsistency:
+    def test_tree_size_matches_beta_mode(self):
+        """Both entry points must report the same per-tree sizes."""
+        snapshot = two_tree_snapshot()
+        beta_detector = RID()
+        beta_detector.detect(snapshot)
+        beta_sizes = sorted(s.tree_size for s in beta_detector.last_selections)
+        budget_detector = RID()
+        budget_detector.detect_with_budget(snapshot, budget=2)
+        budget_sizes = sorted(s.tree_size for s in budget_detector.last_selections)
+        assert budget_sizes == beta_sizes
+
+    def test_tree_size_is_num_real_not_node_count(self, monkeypatch):
+        """Regression: budgeted mode used ``tree.number_of_nodes()``
+        while β mode used ``binary.num_real`` — incomparable if the
+        binarisation's real-node bookkeeping ever diverges from the raw
+        node count. Pin both entry points to ``binary.num_real``.
+        """
+        import repro.core.rid as rid_module
+
+        real_binarize = rid_module.binarize_cascade_tree
+
+        def shrunk_binarize(tree, alpha, inconsistent_value=0.0):
+            binary = real_binarize(
+                tree, alpha=alpha, inconsistent_value=inconsistent_value
+            )
+            binary.num_real = max(1, binary.num_real - 1)
+            return binary
+
+        monkeypatch.setattr(rid_module, "binarize_cascade_tree", shrunk_binarize)
+        snapshot = two_tree_snapshot()
+        # Trees have 3 (r1, a, w) and 2 (r2, b) nodes; shrunk num_real
+        # gives 2 and 1.
+        beta_detector = RID()
+        beta_detector.detect(snapshot)
+        assert sorted(s.tree_size for s in beta_detector.last_selections) == [1, 2]
+
+        budget_detector = RID()
+        budget_detector.detect_with_budget(snapshot, budget=2)
+        assert sorted(s.tree_size for s in budget_detector.last_selections) == [1, 2]

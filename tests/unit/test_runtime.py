@@ -1,0 +1,236 @@
+"""Unit tests for the parallel trial-execution runtime."""
+
+import json
+
+import pytest
+
+from repro.diffusion.base import ActivationEvent, DiffusionResult
+from repro.diffusion.mfc import MFCModel
+from repro.errors import ConfigError
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.runtime import (
+    CacheCodecError,
+    RuntimeConfig,
+    TrialCache,
+    decode_diffusion_result,
+    encode_diffusion_result,
+    graph_digest,
+    model_digest,
+    run_trials,
+    seeds_digest,
+    stable_digest,
+)
+from repro.types import NodeState
+from repro.utils.rng import spawn_rng
+
+
+def draw_trial(payload, trial):
+    """A module-level (hence picklable) trial body with real randomness."""
+    base_seed, digits = payload
+    rng = spawn_rng(base_seed + trial, "draw")
+    return round(rng.random(), digits)
+
+
+def identity_trial(payload, spec):
+    return (payload, spec)
+
+
+def ring(n: int = 20) -> SignedDiGraph:
+    g = SignedDiGraph()
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n, 1 if i % 3 else -1, 0.5)
+    return g
+
+
+class TestRuntimeConfig:
+    def test_defaults_serial(self):
+        config = RuntimeConfig()
+        config.validate()
+        assert not config.parallel
+
+    def test_workers_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            RuntimeConfig(workers=0).validate()
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ConfigError):
+            RuntimeConfig(chunk_size=0).validate()
+
+    def test_explicit_chunk_size_wins(self):
+        assert RuntimeConfig(workers=4, chunk_size=3).resolve_chunk_size(100) == 3
+
+    def test_auto_chunk_size_targets_four_chunks_per_worker(self):
+        assert RuntimeConfig(workers=4).resolve_chunk_size(100) == 7
+
+    def test_serial_chunk_size_is_everything(self):
+        assert RuntimeConfig(workers=1).resolve_chunk_size(100) == 100
+
+
+class TestRunTrials:
+    def test_serial_results_in_spec_order(self):
+        outcome = run_trials(identity_trial, "p", ["a", "b", "c"])
+        assert outcome.results == [("p", "a"), ("p", "b"), ("p", "c")]
+        assert outcome.report.fallback_reason == "workers=1"
+
+    def test_parallel_bit_identical_to_serial(self):
+        serial = run_trials(draw_trial, (7, 9), range(12))
+        parallel = run_trials(
+            draw_trial, (7, 9), range(12), config=RuntimeConfig(workers=3)
+        )
+        assert parallel.results == serial.results
+        assert parallel.report.fallback_reason is None
+        assert parallel.report.workers > 1
+
+    def test_chunking_counts(self):
+        outcome = run_trials(
+            draw_trial,
+            (1, 3),
+            range(5),
+            config=RuntimeConfig(workers=2, chunk_size=2),
+        )
+        assert outcome.report.chunks == 3
+
+    def test_non_picklable_falls_back_to_serial(self):
+        expected = [(None, s) for s in range(4)]
+        outcome = run_trials(
+            lambda payload, spec: (payload, spec),
+            None,
+            range(4),
+            config=RuntimeConfig(workers=4),
+        )
+        assert outcome.results == expected
+        assert outcome.report.fallback_reason == "inputs not picklable"
+
+    def test_single_trial_stays_in_process(self):
+        outcome = run_trials(
+            draw_trial, (1, 3), [0], config=RuntimeConfig(workers=4)
+        )
+        assert outcome.report.fallback_reason == "single trial"
+
+    def test_timings_cover_every_trial(self):
+        outcome = run_trials(draw_trial, (1, 3), range(6))
+        assert len(outcome.report.timings) == 6
+        assert all(t.seconds >= 0.0 for t in outcome.report.timings)
+        assert not any(t.cached for t in outcome.report.timings)
+        assert outcome.report.compute_seconds >= 0.0
+
+
+class TestTrialCache:
+    def test_round_trip(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        cache.store("k1", {"x": [1, 2]})
+        assert cache.load("k1") == {"x": [1, 2]}
+        assert "k1" in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        assert TrialCache(tmp_path).load("absent") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        (tmp_path / "bad.json").write_text("{not json")
+        assert cache.load("bad") is None
+
+    def test_run_trials_uses_cache(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        key_fn = lambda spec: stable_digest("t", spec)  # noqa: E731
+        kwargs = dict(
+            cache=cache,
+            key_fn=key_fn,
+            encode=lambda value: {"v": value},
+            decode=lambda payload: payload["v"],
+        )
+        first = run_trials(draw_trial, (3, 6), range(5), **kwargs)
+        second = run_trials(draw_trial, (3, 6), range(5), **kwargs)
+        assert first.report.cache_hits == 0
+        assert second.report.cache_hits == 5
+        assert second.results == first.results
+        assert all(t.cached for t in second.report.timings)
+
+    def test_codec_error_skips_caching(self, tmp_path):
+        cache = TrialCache(tmp_path)
+
+        def refuse(value):
+            raise CacheCodecError("nope")
+
+        outcome = run_trials(
+            draw_trial,
+            (3, 6),
+            range(3),
+            cache=cache,
+            key_fn=lambda spec: stable_digest("t", spec),
+            encode=refuse,
+            decode=lambda payload: payload,
+        )
+        assert len(outcome.results) == 3
+        assert len(cache) == 0
+
+
+class TestDigests:
+    def test_graph_digest_stable_across_copies(self):
+        g = ring()
+        assert graph_digest(g) == graph_digest(g.copy())
+
+    def test_graph_digest_sees_weights(self):
+        g, h = ring(), ring()
+        h.set_weight(0, 1, 0.51)
+        assert graph_digest(g) != graph_digest(h)
+
+    def test_graph_digest_sees_states(self):
+        g, h = ring(), ring()
+        h.set_state(0, NodeState.POSITIVE)
+        assert graph_digest(g) != graph_digest(h)
+
+    def test_model_digest_sees_parameters(self):
+        assert model_digest(MFCModel(alpha=2.0)) != model_digest(MFCModel(alpha=3.0))
+
+    def test_seeds_digest_order_independent(self):
+        a = {1: NodeState.POSITIVE, 2: NodeState.NEGATIVE}
+        b = {2: NodeState.NEGATIVE, 1: NodeState.POSITIVE}
+        assert seeds_digest(a) == seeds_digest(b)
+
+
+class TestDiffusionResultCodec:
+    def test_round_trip(self):
+        model = MFCModel(alpha=2.0)
+        result = model.run(ring(), {0: NodeState.POSITIVE, 5: NodeState.NEGATIVE}, rng=3)
+        payload = encode_diffusion_result(result)
+        json.dumps(payload)  # genuinely JSON-serialisable
+        decoded = decode_diffusion_result(payload)
+        assert decoded.seeds == result.seeds
+        assert decoded.final_states == result.final_states
+        assert decoded.events == result.events
+        assert decoded.rounds == result.rounds
+
+    def test_string_nodes_round_trip(self):
+        result = DiffusionResult(
+            seeds={"a": NodeState.POSITIVE},
+            final_states={"a": NodeState.POSITIVE, "b": NodeState.NEGATIVE},
+            events=[
+                ActivationEvent(round=0, source=None, target="a", state=NodeState.POSITIVE),
+                ActivationEvent(
+                    round=1, source="a", target="b", state=NodeState.NEGATIVE, was_flip=True
+                ),
+            ],
+            rounds=1,
+        )
+        decoded = decode_diffusion_result(encode_diffusion_result(result))
+        assert decoded == result
+
+    def test_exotic_nodes_rejected(self):
+        result = DiffusionResult(
+            seeds={("tuple", "node"): NodeState.POSITIVE},
+            final_states={("tuple", "node"): NodeState.POSITIVE},
+        )
+        with pytest.raises(CacheCodecError):
+            encode_diffusion_result(result)
+
+    def test_bool_nodes_rejected(self):
+        # bool is an int subclass; a silent int round-trip would change
+        # the node's identity, so the codec must refuse it.
+        result = DiffusionResult(
+            seeds={True: NodeState.POSITIVE},
+            final_states={True: NodeState.POSITIVE},
+        )
+        with pytest.raises(CacheCodecError):
+            encode_diffusion_result(result)

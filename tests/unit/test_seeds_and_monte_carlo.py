@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.diffusion.base import DiffusionModel, DiffusionResult
 from repro.diffusion.mfc import MFCModel
 from repro.diffusion.monte_carlo import estimate_spread, simulate_many
 from repro.diffusion.seeds import plant_fixed_initiators, plant_random_initiators
@@ -99,3 +100,46 @@ class TestMonteCarlo:
         )
         assert estimate.mean_infected == 5.0
         assert estimate.mean_positive_fraction == 1.0
+
+
+class BurnoutModel(DiffusionModel):
+    """Stub: every node ends in ``empty_state`` on trials whose index is
+    in ``empty_trials``, as recovery-style models can; other trials end
+    all-positive."""
+
+    name = "burnout"
+
+    def __init__(self, empty_trials):
+        self.empty_trials = set(empty_trials)
+        self.calls = 0
+
+    def run(self, diffusion, seeds, rng=None):
+        trial = self.calls
+        self.calls += 1
+        if trial in self.empty_trials:
+            state = NodeState.INACTIVE  # empty cascade: nobody active
+        else:
+            state = NodeState.POSITIVE
+        return DiffusionResult(
+            seeds=dict(seeds),
+            final_states={n: state for n in diffusion.nodes()},
+        )
+
+
+class TestEmptyCascadeConvention:
+    def test_empty_trials_excluded_from_positive_fraction(self):
+        """Regression: empty cascades used to push 0.0 into the positive
+        fractions, biasing the mean downward. Here half the trials are
+        empty and every non-empty trial is all-positive, so the mean
+        positive fraction must be exactly 1.0 (previously 0.5)."""
+        estimate = estimate_spread(
+            BurnoutModel(empty_trials=[1, 3]), ring(), {0: NodeState.POSITIVE}, trials=4
+        )
+        assert estimate.mean_positive_fraction == 1.0
+        assert estimate.trials == 4  # empty trials still counted here
+
+    def test_all_empty_trials_give_zero_fraction(self):
+        model = BurnoutModel(empty_trials=range(3))
+        estimate = estimate_spread(model, ring(), {0: NodeState.POSITIVE}, trials=3)
+        assert estimate.mean_positive_fraction == 0.0
+        assert estimate.mean_infected == 0.0
