@@ -9,17 +9,21 @@ the activation probabilities and there is no flipping.
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Set, Tuple
 
 from repro.diffusion.base import (
     ActivationEvent,
     DiffusionModel,
     DiffusionResult,
+    check_seeds,
     sorted_nodes,
 )
 from repro.graphs.signed_digraph import SignedDiGraph
 from repro.types import Node, NodeState
-from repro.utils.rng import RandomSource
+from repro.utils.rng import RandomSource, spawn_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.compile import CompiledGraph
 
 
 class ICModel(DiffusionModel):
@@ -30,12 +34,22 @@ class ICModel(DiffusionModel):
             state ``s(u)·s_D(u,v)`` so the outcome is comparable with
             signed models; when False everyone simply takes the
             activator's state (pure unsigned IC).
+        use_kernel: run cascades through the CSR-compiled fast path of
+            :mod:`repro.kernel` (the default); bit-identical to the
+            reference loop, kept only as a debugging escape hatch.
     """
 
     name = "ic"
 
-    def __init__(self, propagate_signs: bool = True) -> None:
+    def __init__(self, propagate_signs: bool = True, use_kernel: bool = True) -> None:
         self.propagate_signs = propagate_signs
+        # Underscored so model_digest ignores it (paths share cache keys).
+        self._use_kernel = bool(use_kernel)
+
+    @property
+    def use_kernel(self) -> bool:
+        """True when ``run`` dispatches to the CSR kernel."""
+        return self._use_kernel
 
     def run(
         self,
@@ -43,6 +57,16 @@ class ICModel(DiffusionModel):
         seeds: Dict[Node, NodeState],
         rng: RandomSource = None,
     ) -> DiffusionResult:
+        if self._use_kernel:
+            # Lazy import to avoid a module-level cycle with repro.kernel.
+            from repro.kernel.cascade import run_ic_compiled
+            from repro.kernel.compile import compile_graph
+
+            validated = check_seeds(diffusion, seeds)
+            random = spawn_rng(rng, self.name)
+            return run_ic_compiled(
+                compile_graph(diffusion), validated, random, self.propagate_signs
+            )
         validated, random, states, events = self._prepare(diffusion, seeds, rng)
         frontier = sorted_nodes(validated)
         attempted: Set[Tuple[Node, Node]] = set()
@@ -76,3 +100,16 @@ class ICModel(DiffusionModel):
         return DiffusionResult(
             seeds=validated, final_states=states, events=events, rounds=round_index
         )
+
+    def run_compiled(
+        self,
+        compiled: "CompiledGraph",
+        seeds: Dict[Node, NodeState],
+        rng: RandomSource = None,
+    ) -> DiffusionResult:
+        """Simulate over an already-compiled graph (see ``MFCModel.run_compiled``)."""
+        from repro.kernel.cascade import check_seeds_compiled, run_ic_compiled
+
+        validated = check_seeds_compiled(compiled, seeds)
+        random = spawn_rng(rng, self.name)
+        return run_ic_compiled(compiled, validated, random, self.propagate_signs)

@@ -23,18 +23,22 @@ inherits.
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Set, Tuple
 
 from repro.diffusion.base import (
     ActivationEvent,
     DiffusionModel,
     DiffusionResult,
+    check_seeds,
     sorted_nodes,
 )
 from repro.errors import InvalidModelParameterError
 from repro.graphs.signed_digraph import SignedDiGraph
 from repro.types import Node, NodeState, Sign
-from repro.utils.rng import RandomSource
+from repro.utils.rng import RandomSource, spawn_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.compile import CompiledGraph
 
 
 def boosted_probability(weight: float, sign: Sign, alpha: float) -> float:
@@ -59,6 +63,11 @@ class MFCModel(DiffusionModel):
         max_rounds: safety valve for pathological inputs; the paper's
             process always terminates because each (u, v) pair is tried
             at most once.
+        use_kernel: run cascades through the CSR-compiled fast path of
+            :mod:`repro.kernel` (the default). The kernel is
+            bit-identical to the reference loop — same events, states,
+            rounds, RNG consumption — so this is an escape hatch for
+            debugging and cross-validation, not a behaviour switch.
 
     Raises:
         InvalidModelParameterError: on ``alpha < 1`` or bad max_rounds.
@@ -71,6 +80,7 @@ class MFCModel(DiffusionModel):
         alpha: float = 3.0,
         allow_flips: bool = True,
         max_rounds: int = 1_000_000,
+        use_kernel: bool = True,
     ) -> None:
         if not alpha >= 1.0:
             raise InvalidModelParameterError(
@@ -81,6 +91,14 @@ class MFCModel(DiffusionModel):
         self.alpha = float(alpha)
         self.allow_flips = allow_flips
         self.max_rounds = max_rounds
+        # Underscored so model_digest ignores it: both paths produce
+        # bit-identical results and must share trial-cache entries.
+        self._use_kernel = bool(use_kernel)
+
+    @property
+    def use_kernel(self) -> bool:
+        """True when ``run`` dispatches to the CSR kernel."""
+        return self._use_kernel
 
     def attempt_probability(self, diffusion: SignedDiGraph, u: Node, v: Node) -> float:
         """Probability that ``u``'s single attempt on ``v`` succeeds."""
@@ -97,7 +115,26 @@ class MFCModel(DiffusionModel):
 
         Frontier processing is deterministic given the RNG: nodes within a
         round, and the targets of each node, are visited in sorted order.
+        Dispatches to the CSR kernel unless ``use_kernel=False``; both
+        paths are bit-identical.
         """
+        if self._use_kernel:
+            # Imported lazily: repro.kernel imports repro.diffusion.base,
+            # so a module-level import here would close a cycle.
+            from repro.kernel.cascade import run_mfc_compiled
+            from repro.kernel.compile import compile_graph
+
+            # Same order as _prepare: validate seeds, then spawn the RNG.
+            validated = check_seeds(diffusion, seeds)
+            random = spawn_rng(rng, self.name)
+            return run_mfc_compiled(
+                compile_graph(diffusion),
+                validated,
+                random,
+                alpha=self.alpha,
+                allow_flips=self.allow_flips,
+                max_rounds=self.max_rounds,
+            )
         validated, random, states, events = self._prepare(diffusion, seeds, rng)
         recently_infected = sorted_nodes(validated)
         attempted: Set[Tuple[Node, Node]] = set()
@@ -154,4 +191,31 @@ class MFCModel(DiffusionModel):
             final_states=states,
             events=events,
             rounds=round_index,
+        )
+
+    def run_compiled(
+        self,
+        compiled: "CompiledGraph",
+        seeds: Dict[Node, NodeState],
+        rng: RandomSource = None,
+    ) -> DiffusionResult:
+        """Simulate over an already-compiled graph.
+
+        Lets callers that hold a :class:`~repro.kernel.compile.CompiledGraph`
+        — notably worker processes, which receive the compact compiled
+        form instead of the dict-of-dict graph — skip re-compilation
+        entirely. Ignores ``use_kernel``: a compiled graph *is* the
+        kernel input.
+        """
+        from repro.kernel.cascade import check_seeds_compiled, run_mfc_compiled
+
+        validated = check_seeds_compiled(compiled, seeds)
+        random = spawn_rng(rng, self.name)
+        return run_mfc_compiled(
+            compiled,
+            validated,
+            random,
+            alpha=self.alpha,
+            allow_flips=self.allow_flips,
+            max_rounds=self.max_rounds,
         )

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 from repro.diffusion.base import DiffusionModel, DiffusionResult
 from repro.graphs.signed_digraph import SignedDiGraph
+from repro.kernel.compile import compile_graph
 from repro.runtime.cache import (
     TrialCache,
     decode_diffusion_result,
@@ -48,6 +49,10 @@ class SpreadEstimate:
             empty cascade has no state mix to measure; counting it as
             0.0 would silently bias the mean downward). 0.0 when every
             cascade ended empty.
+        mean_negative_fraction: complementary share ending with state
+            -1, same non-empty-cascade convention (the state-mix figures
+            plot both sides; within any non-empty cascade the two
+            fractions sum to 1).
         mean_flips: average number of flip events per cascade.
         mean_rounds: average rounds to quiescence.
         trials: number of simulations aggregated (including empty ones).
@@ -56,6 +61,7 @@ class SpreadEstimate:
     mean_infected: float
     std_infected: float
     mean_positive_fraction: float
+    mean_negative_fraction: float
     mean_flips: float
     mean_rounds: float
     trials: int
@@ -69,6 +75,19 @@ def _simulate_trial(payload, trial: int) -> DiffusionResult:
     """
     model, diffusion, seeds, base_seed = payload
     return model.run(diffusion, seeds, rng=derive_seed(base_seed, model.name, trial))
+
+
+def _simulate_trial_compiled(payload, trial: int) -> DiffusionResult:
+    """Kernel-path trial body: the payload carries the compiled graph.
+
+    Shipping the compact CSR form to workers replaces re-pickling the
+    dict-of-dict graph per chunk; seed derivation is identical to
+    :func:`_simulate_trial`, so results are bit-identical either way.
+    """
+    model, compiled, seeds, base_seed = payload
+    return model.run_compiled(
+        compiled, seeds, rng=derive_seed(base_seed, model.name, trial)
+    )
 
 
 def simulate_many_outcome(
@@ -92,9 +111,17 @@ def simulate_many_outcome(
             base_seed,
         )
         key_fn = lambda trial: stable_digest(world, trial)  # noqa: E731
+    if getattr(model, "use_kernel", False):
+        # Kernel-capable model: compile once in the parent and ship the
+        # flat CSR form to workers instead of the dict-of-dict graph.
+        fn = _simulate_trial_compiled
+        payload = (model, compile_graph(diffusion), seeds, base_seed)
+    else:
+        fn = _simulate_trial
+        payload = (model, diffusion, seeds, base_seed)
     return run_trials(
-        _simulate_trial,
-        (model, diffusion, seeds, base_seed),
+        fn,
+        payload,
         range(trials),
         config=runtime,
         cache=cache,
@@ -134,22 +161,33 @@ def estimate_spread(
     every simulation.
     """
     results = simulate_many(model, diffusion, seeds, trials, base_seed, runtime)
-    sizes = [float(r.num_infected()) for r in results]
+    # One pass per result: the previous version walked final_states three
+    # times (num_infected, infected_nodes, the per-node state lookups).
+    sizes = []
     positive_fractions = []
+    negative_fractions = []
     flips = []
+    rounds = []
     for r in results:
-        infected = r.infected_nodes()
+        positives = negatives = 0
+        for state in r.final_states.values():
+            if state is NodeState.POSITIVE:
+                positives += 1
+            elif state is NodeState.NEGATIVE:
+                negatives += 1
+        infected = positives + negatives
+        sizes.append(float(infected))
         if infected:
-            positives = sum(
-                1 for n in infected if r.final_states[n] is NodeState.POSITIVE
-            )
-            positive_fractions.append(positives / len(infected))
+            positive_fractions.append(positives / infected)
+            negative_fractions.append(negatives / infected)
         flips.append(float(sum(1 for e in r.events if e.was_flip)))
+        rounds.append(float(r.rounds))
     return SpreadEstimate(
         mean_infected=mean(sizes),
         std_infected=pstdev(sizes) if len(sizes) > 1 else 0.0,
         mean_positive_fraction=mean(positive_fractions) if positive_fractions else 0.0,
+        mean_negative_fraction=mean(negative_fractions) if negative_fractions else 0.0,
         mean_flips=mean(flips),
-        mean_rounds=mean(float(r.rounds) for r in results),
+        mean_rounds=mean(rounds),
         trials=trials,
     )

@@ -18,6 +18,14 @@ Design notes
 * Mutating iterators are never handed out: ``nodes()``/``edges()`` return
   lists or iterate over snapshots where mutation during iteration would
   corrupt internal maps.
+* Every mutation bumps a cheap :attr:`~SignedDiGraph.version` counter
+  (and, for topology/sign/weight changes, a coarser
+  :attr:`~SignedDiGraph.structure_version`), so derived artefacts — the
+  memoized content digest in :mod:`repro.runtime.cache` and the compiled
+  CSR form in :mod:`repro.kernel` — can be cached per instance and
+  invalidated without rescanning the graph. Code that mutates
+  :class:`EdgeData` payloads in place (bulk re-weighting) must call
+  :meth:`~SignedDiGraph.bump_version` afterwards.
 """
 
 from __future__ import annotations
@@ -63,6 +71,43 @@ class SignedDiGraph:
         self._pred: Dict[Node, Dict[Node, EdgeData]] = {}
         self._state: Dict[Node, NodeState] = {}
         self._num_edges = 0
+        self._version = 0
+        self._structure_version = 0
+
+    # ------------------------------------------------------------------
+    # Mutation versioning
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by *every* mutation (incl. states).
+
+        Caches keyed on graph content — e.g. the memoized
+        :func:`repro.runtime.cache.graph_digest` — compare this counter
+        instead of re-hashing ``V + E`` items.
+        """
+        return self._version
+
+    @property
+    def structure_version(self) -> int:
+        """Counter bumped only by topology / sign / weight mutations.
+
+        Node-state changes leave it untouched, so state-only workflows
+        (write states, simulate, repeat) keep reusing the compiled CSR
+        form from :mod:`repro.kernel`.
+        """
+        return self._structure_version
+
+    def bump_version(self, structural: bool = True) -> None:
+        """Record an out-of-band mutation.
+
+        Call this after mutating :class:`EdgeData` payloads directly
+        (e.g. bulk re-weighting loops over :meth:`iter_edges`), which
+        bypasses the mutator methods that normally bump the counters.
+        """
+        self._version += 1
+        if structural:
+            self._structure_version += 1
 
     # ------------------------------------------------------------------
     # Dunder conveniences
@@ -94,6 +139,7 @@ class SignedDiGraph:
             self._succ[node] = {}
             self._pred[node] = {}
             self._state[node] = NodeState(state)
+            self.bump_version()
 
     def add_nodes(self, nodes: Iterable[Node]) -> None:
         """Add many nodes at once."""
@@ -115,6 +161,7 @@ class SignedDiGraph:
         del self._succ[node]
         del self._pred[node]
         del self._state[node]
+        self.bump_version()
 
     def has_node(self, node: Node) -> bool:
         """True if ``node`` is present."""
@@ -148,6 +195,7 @@ class SignedDiGraph:
         if node not in self._succ:
             raise NodeNotFoundError(node)
         self._state[node] = NodeState(state)
+        self.bump_version(structural=False)
 
     def set_states(self, states: Dict[Node, NodeState]) -> None:
         """Bulk state assignment."""
@@ -166,6 +214,7 @@ class SignedDiGraph:
         """Set every node's state to ``state`` (default: inactive)."""
         for node in self._state:
             self._state[node] = NodeState(state)
+        self.bump_version(structural=False)
 
     # ------------------------------------------------------------------
     # Edges
@@ -193,6 +242,7 @@ class SignedDiGraph:
             self._num_edges += 1
         self._succ[u][v] = data
         self._pred[v][u] = data
+        self.bump_version()
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the directed edge ``u -> v``.
@@ -206,6 +256,7 @@ class SignedDiGraph:
         except KeyError:
             raise EdgeNotFoundError(u, v) from None
         self._num_edges -= 1
+        self.bump_version()
 
     def has_edge(self, u: Node, v: Node) -> bool:
         """True if the directed edge ``u -> v`` exists."""
@@ -233,6 +284,7 @@ class SignedDiGraph:
     def set_weight(self, u: Node, v: Node, weight: float) -> None:
         """Overwrite the weight of an existing edge."""
         self.edge(u, v).weight = check_weight(weight)
+        self.bump_version()
 
     def edges(self) -> List[Tuple[Node, Node, EdgeData]]:
         """All edges as ``(u, v, data)`` triples."""
@@ -303,12 +355,17 @@ class SignedDiGraph:
         return self.in_degree(node) + self.out_degree(node)
 
     def neighbors(self, node: Node) -> List[Node]:
-        """Undirected neighbourhood: union of successors and predecessors."""
+        """Undirected neighbourhood: union of successors and predecessors.
+
+        Returned in deterministic ``repr``-sorted order (the library's
+        canonical node order): listing a raw set union here made the
+        order — and anything iterating it — vary with ``PYTHONHASHSEED``.
+        """
         try:
             merged = set(self._succ[node]) | set(self._pred[node])
         except KeyError:
             raise NodeNotFoundError(node) from None
-        return list(merged)
+        return sorted(merged, key=repr)
 
     # ------------------------------------------------------------------
     # Whole-graph operations

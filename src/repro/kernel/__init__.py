@@ -1,0 +1,42 @@
+"""CSR-compiled cascade kernel.
+
+The reference simulators in :mod:`repro.diffusion` walk the
+dict-of-dict :class:`~repro.graphs.signed_digraph.SignedDiGraph`
+directly: every frontier visit re-sorts the successor list by ``repr``,
+every attempt does two dict-chain lookups (sign, weight) plus a
+``(u, v)`` tuple-set membership test for the one-attempt-per-pair rule.
+That is the per-attempt cost every Monte-Carlo pipeline in the library
+pays thousands of times over.
+
+This package compiles a graph once into a flat int-indexed CSR form
+(:func:`compile_graph` → :class:`CompiledGraph`) — contiguous stdlib
+arrays of successor offsets, targets pre-sorted in the reference visit
+order, signs, weights, and per-α attempt probabilities — and runs the
+cascade over those arrays (:func:`run_mfc_compiled`,
+:func:`run_ic_compiled`). Node states live in a ``bytearray``; the
+attempted-pair set becomes a per-edge byte flag, because an ordered
+pair *is* a CSR edge slot. The RNG is consumed in exactly the reference
+draw order, so results are **bit-identical**: same events, same final
+states, same round count (pinned by
+``tests/property/test_kernel_identity.py``).
+
+Compiled forms are cached per graph instance, keyed on the graph's
+cheap :attr:`~repro.graphs.signed_digraph.SignedDiGraph.structure_version`
+mutation counter, so repeated simulation on an unchanged graph compiles
+once and any topology/sign/weight mutation recompiles on next use.
+"""
+
+from repro.kernel.compile import CompiledGraph, compile_graph
+from repro.kernel.cascade import (
+    check_seeds_compiled,
+    run_ic_compiled,
+    run_mfc_compiled,
+)
+
+__all__ = [
+    "CompiledGraph",
+    "compile_graph",
+    "check_seeds_compiled",
+    "run_ic_compiled",
+    "run_mfc_compiled",
+]

@@ -1,0 +1,220 @@
+"""Flat-array MFC and IC cascade fast paths.
+
+Both functions replay the corresponding reference simulator
+(:class:`repro.diffusion.mfc.MFCModel` / :class:`repro.diffusion.ic.ICModel`
+with ``use_kernel=False``) instruction-for-instruction where it matters:
+
+* node visit order — seeds, per-round frontiers, and each node's
+  successor row are walked in ascending node index, which equals the
+  reference's ``repr``-sorted order by construction of
+  :class:`~repro.kernel.compile.CompiledGraph`;
+* the one-attempt-per-ordered-pair rule — a byte flag per CSR edge slot
+  stands in for the reference's ``(u, v)`` tuple set, flipped exactly
+  when the reference would have inserted the tuple (i.e. only when an
+  attempt actually rolls the RNG);
+* RNG consumption — ``random.random()`` is called once per attempted
+  slot in the identical sequence, so given the same
+  :class:`random.Random` the event log, final states and round count
+  are **bit-identical** to the reference, and the caller's generator is
+  left in the identical post-run state.
+
+Node states are bytes: ``0`` inactive, ``1`` state ``+1``, ``2`` state
+``-1``. The MFC update ``s(v) = s(u)·s_D(u,v)`` becomes "copy on a
+positive link, swap ``1↔2`` (i.e. ``3 - s``) on a negative link".
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Dict, List, Tuple
+
+from repro.diffusion.base import ActivationEvent, DiffusionResult
+from repro.errors import InvalidSeedError
+from repro.kernel.compile import CompiledGraph
+from repro.types import INITIATOR_STATES, Node, NodeState
+
+#: byte encoding of active node states (index 0 is the inactive byte).
+_DECODE = (None, NodeState.POSITIVE, NodeState.NEGATIVE)
+
+
+def check_seeds_compiled(
+    compiled: CompiledGraph, seeds: Dict[Node, NodeState]
+) -> Dict[Node, NodeState]:
+    """:func:`repro.diffusion.base.check_seeds` against a compiled graph.
+
+    Raises:
+        InvalidSeedError: on empty seeds, unknown nodes, or states
+            outside ``{-1, +1}``.
+    """
+    if not seeds:
+        raise InvalidSeedError("seed assignment is empty")
+    validated: Dict[Node, NodeState] = {}
+    for node, state in seeds.items():
+        if node not in compiled.index:
+            raise InvalidSeedError(f"seed node {node!r} is not in the network")
+        state = NodeState(state)
+        if state not in INITIATOR_STATES:
+            raise InvalidSeedError(
+                f"seed state for {node!r} must be +1 or -1, got {state!r}"
+            )
+        validated[node] = state
+    return validated
+
+
+def _plant(
+    compiled: CompiledGraph, validated: Dict[Node, NodeState]
+) -> Tuple[bytearray, List[int], List[ActivationEvent]]:
+    """Seed the state array; return it with the round-0 frontier/events."""
+    states = bytearray(compiled.num_nodes)
+    index = compiled.index
+    seeded = sorted(
+        (index[node], 1 if int(state) > 0 else 2) for node, state in validated.items()
+    )
+    nodes = compiled.nodes
+    events = []
+    frontier = []
+    for i, s in seeded:
+        states[i] = s
+        frontier.append(i)
+        events.append(
+            ActivationEvent(round=0, source=None, target=nodes[i], state=_DECODE[s])
+        )
+    return states, frontier, events
+
+
+def _materialise(
+    compiled: CompiledGraph,
+    validated: Dict[Node, NodeState],
+    events: List[ActivationEvent],
+    log: List[Tuple[int, int, int, int, bool]],
+    rounds: int,
+) -> DiffusionResult:
+    """Decode the int event log into the reference result structure.
+
+    ``final_states`` is built seed-first then in first-activation order,
+    reproducing the reference's dict insertion order exactly (flips
+    re-assign and therefore keep the original position, as in a plain
+    dict update).
+    """
+    nodes = compiled.nodes
+    decode = _DECODE
+    final_states = dict(validated)
+    for round_index, u, v, s, was_flip in log:
+        state = decode[s]
+        final_states[nodes[v]] = state
+        events.append(
+            ActivationEvent(
+                round=round_index,
+                source=nodes[u],
+                target=nodes[v],
+                state=state,
+                was_flip=was_flip,
+            )
+        )
+    return DiffusionResult(
+        seeds=validated, final_states=final_states, events=events, rounds=rounds
+    )
+
+
+def run_mfc_compiled(
+    compiled: CompiledGraph,
+    validated: Dict[Node, NodeState],
+    random: _random.Random,
+    alpha: float,
+    allow_flips: bool,
+    max_rounds: int,
+) -> DiffusionResult:
+    """MFC (paper Algorithm 1) over the CSR arrays.
+
+    ``validated`` must already have passed seed validation (the model
+    wrappers call :func:`check_seeds_compiled` or the reference
+    ``check_seeds`` first, preserving the reference's validate-then-
+    spawn-RNG order).
+    """
+    indptr, targets, _ = compiled.hot_rows()
+    signs = compiled.signs
+    probs = compiled.probabilities_list(alpha)
+    rand = random.random
+
+    states, frontier, events = _plant(compiled, validated)
+    tried = bytearray(compiled.num_edges)
+    queued = bytearray(compiled.num_nodes)
+    log: List[Tuple[int, int, int, int, bool]] = []
+    rounds = 0
+
+    while frontier and rounds < max_rounds:
+        rounds += 1
+        fresh: List[int] = []
+        for u in frontier:
+            s_u = states[u]
+            if s_u == 0:
+                # Mirrors the reference's defensive guard; states on the
+                # frontier are always active in practice.
+                continue
+            for slot in range(indptr[u], indptr[u + 1]):
+                if tried[slot]:
+                    continue
+                v = targets[slot]
+                s_v = states[v]
+                if s_v == 0:
+                    was_flip = False
+                elif allow_flips and signs[slot] and s_u != s_v:
+                    was_flip = True
+                else:
+                    continue
+                tried[slot] = 1
+                if rand() < probs[slot]:
+                    s_new = s_u if signs[slot] else 3 - s_u
+                    states[v] = s_new
+                    log.append((rounds, u, v, s_new, was_flip))
+                    if not queued[v]:
+                        queued[v] = 1
+                        fresh.append(v)
+        for v in fresh:
+            queued[v] = 0
+        fresh.sort()
+        frontier = fresh
+
+    return _materialise(compiled, validated, events, log, rounds)
+
+
+def run_ic_compiled(
+    compiled: CompiledGraph,
+    validated: Dict[Node, NodeState],
+    random: _random.Random,
+    propagate_signs: bool,
+) -> DiffusionResult:
+    """Independent Cascade over the CSR arrays (sign-blind probabilities)."""
+    indptr, targets, weights = compiled.hot_rows()
+    signs = compiled.signs
+    rand = random.random
+
+    states, frontier, events = _plant(compiled, validated)
+    tried = bytearray(compiled.num_edges)
+    log: List[Tuple[int, int, int, int, bool]] = []
+    rounds = 0
+
+    while frontier:
+        rounds += 1
+        fresh: List[int] = []
+        for u in frontier:
+            s_u = states[u]
+            for slot in range(indptr[u], indptr[u + 1]):
+                if tried[slot]:
+                    continue
+                v = targets[slot]
+                if states[v]:
+                    continue  # IC never re-activates (and keeps the slot unspent)
+                tried[slot] = 1
+                if rand() < weights[slot]:
+                    if propagate_signs and not signs[slot]:
+                        s_new = 3 - s_u
+                    else:
+                        s_new = s_u
+                    states[v] = s_new
+                    log.append((rounds, u, v, s_new, False))
+                    fresh.append(v)
+        fresh.sort()
+        frontier = fresh
+
+    return _materialise(compiled, validated, events, log, rounds)

@@ -1,0 +1,211 @@
+"""Compile a :class:`SignedDiGraph` into a flat CSR form.
+
+The compiled layout (all stdlib, no third-party dependencies):
+
+* ``nodes``    — node objects, ``repr``-sorted; position = node index.
+* ``index``    — inverse map, node object → index.
+* ``indptr``   — ``array('q', n+1)``: node ``i``'s out-edges occupy the
+  slots ``indptr[i]:indptr[i+1]``.
+* ``targets``  — ``array('q', m)``: target node index per edge slot,
+  ascending within each row. Because node indices are assigned in
+  ``repr`` order, ascending index order *is* the reference simulators'
+  ``sorted_nodes`` visit order — the property the bit-identity contract
+  rests on.
+* ``signs``    — ``bytearray(m)``: 1 for a positive link, 0 negative.
+* ``weights``  — ``array('d', m)``: raw edge weights (the IC attempt
+  probability).
+* per-α MFC attempt probabilities, computed lazily by
+  :meth:`CompiledGraph.probabilities` as ``min(1, α·w)`` on positive
+  slots / ``w`` on negative slots — the exact float expression the
+  reference's ``boosted_probability`` evaluates per attempt — and
+  cached per α.
+
+Node identity caveat: index assignment ``repr``-sorts the node list, so
+distinct nodes must have distinct ``repr`` (true for the int/str nodes
+every generator and loader in this library produces); nodes with
+colliding reprs would make the reference's own visit order depend on
+insertion history in the first place.
+"""
+
+from __future__ import annotations
+
+import weakref
+from array import array
+from typing import Dict, List, Tuple
+
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import Node, Sign
+
+
+class CompiledGraph:
+    """Immutable flat-array snapshot of a graph's topology and weights.
+
+    Build via :func:`compile_graph` (which caches); the constructor is
+    internal. Instances are picklable and compact, so the runtime ships
+    them to worker processes instead of re-pickling the dict-of-dict
+    graph.
+    """
+
+    __slots__ = (
+        "nodes",
+        "index",
+        "indptr",
+        "targets",
+        "signs",
+        "weights",
+        "num_nodes",
+        "num_edges",
+        "_prob_cache",
+        "_hot",
+        "_prob_list_cache",
+    )
+
+    def __init__(
+        self,
+        nodes: List[Node],
+        index: Dict[Node, int],
+        indptr: array,
+        targets: array,
+        signs: bytearray,
+        weights: array,
+    ) -> None:
+        self.nodes = nodes
+        self.index = index
+        self.indptr = indptr
+        self.targets = targets
+        self.signs = signs
+        self.weights = weights
+        self.num_nodes = len(nodes)
+        self.num_edges = len(targets)
+        self._prob_cache: Dict[float, array] = {}
+        self._hot = None
+        self._prob_list_cache: Dict[float, List[float]] = {}
+
+    def __repr__(self) -> str:
+        return f"<CompiledGraph: {self.num_nodes} nodes, {self.num_edges} edges>"
+
+    def has_node(self, node: Node) -> bool:
+        """True if ``node`` was present at compile time."""
+        return node in self.index
+
+    def probabilities(self, alpha: float) -> array:
+        """Per-edge-slot MFC attempt probabilities for boosting ``α``.
+
+        ``min(1, α·w)`` on positive slots, raw ``w`` on negative slots —
+        bit-for-bit the reference ``boosted_probability`` floats.
+        Cached per α; ``α = 1`` still clamps (as the reference does) so
+        weights saturated at exactly 1.0 round-trip unchanged.
+        """
+        key = float(alpha)
+        probs = self._prob_cache.get(key)
+        if probs is None:
+            weights = self.weights
+            signs = self.signs
+            probs = array("d", weights)
+            for slot in range(self.num_edges):
+                if signs[slot]:
+                    probs[slot] = min(1.0, key * weights[slot])
+            self._prob_cache[key] = probs
+        return probs
+
+    # -- hot-loop list views -------------------------------------------
+    #
+    # ``array`` keeps the compiled form compact and cheap to pickle, but
+    # every indexed read boxes a fresh int/float object; a Python list
+    # resolves to the stored object directly (~1.2x on the inner loop).
+    # The cascade kernels therefore read these lazily built, per-instance
+    # cached views. They are derived data: excluded from pickling and
+    # rebuilt on first use in each process.
+
+    def hot_rows(self) -> Tuple[List[int], List[int], List[float]]:
+        """List views of ``(indptr, targets, weights)`` for the inner loop."""
+        hot = self._hot
+        if hot is None:
+            hot = (list(self.indptr), list(self.targets), list(self.weights))
+            self._hot = hot
+        return hot
+
+    def probabilities_list(self, alpha: float) -> List[float]:
+        """List view of :meth:`probabilities` for the inner loop."""
+        key = float(alpha)
+        probs = self._prob_list_cache.get(key)
+        if probs is None:
+            probs = list(self.probabilities(key))
+            self._prob_list_cache[key] = probs
+        return probs
+
+    # -- pickling (``__slots__`` classes have no ``__dict__``) ----------
+
+    def __getstate__(self) -> Tuple:
+        # The per-α cache travels along: workers reuse it for free.
+        return (
+            self.nodes,
+            self.index,
+            self.indptr,
+            self.targets,
+            self.signs,
+            self.weights,
+            self._prob_cache,
+        )
+
+    def __setstate__(self, state: Tuple) -> None:
+        (
+            self.nodes,
+            self.index,
+            self.indptr,
+            self.targets,
+            self.signs,
+            self.weights,
+            self._prob_cache,
+        ) = state
+        self.num_nodes = len(self.nodes)
+        self.num_edges = len(self.targets)
+        self._hot = None
+        self._prob_list_cache = {}
+
+
+#: Per-graph-instance compile cache: graph → (structure_version, compiled).
+#: Weak keys, so caching never extends a graph's lifetime.
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[SignedDiGraph, Tuple[int, CompiledGraph]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_graph(graph: SignedDiGraph) -> CompiledGraph:
+    """The CSR form of ``graph``, compiled at most once per structure.
+
+    The cache key is the graph's
+    :attr:`~repro.graphs.signed_digraph.SignedDiGraph.structure_version`
+    counter: any node/edge/sign/weight mutation since the last compile
+    triggers a fresh compile, while node-*state* churn (which the CSR
+    form does not encode) keeps the cache hot.
+    """
+    version = getattr(graph, "structure_version", None)
+    if version is not None:
+        entry = _COMPILE_CACHE.get(graph)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+    compiled = _compile(graph)
+    if version is not None:
+        _COMPILE_CACHE[graph] = (version, compiled)
+    return compiled
+
+
+def _compile(graph: SignedDiGraph) -> CompiledGraph:
+    nodes = sorted(graph.nodes(), key=repr)
+    index = {node: i for i, node in enumerate(nodes)}
+    indptr = array("q", bytes(8 * (len(nodes) + 1)))
+    targets = array("q")
+    signs = bytearray()
+    weights = array("d")
+    for i, u in enumerate(nodes):
+        row = sorted(
+            (index[v], 1 if data.sign is Sign.POSITIVE else 0, data.weight)
+            for _, v, data in graph.out_edges(u)
+        )
+        for v_index, sign_bit, weight in row:
+            targets.append(v_index)
+            signs.append(sign_bit)
+            weights.append(weight)
+        indptr[i + 1] = len(targets)
+    return CompiledGraph(nodes, index, indptr, targets, signs, weights)

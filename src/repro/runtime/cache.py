@@ -41,19 +41,43 @@ def stable_digest(*parts: object) -> str:
 
 
 def graph_digest(graph: SignedDiGraph) -> str:
-    """Digest of a graph's full content (topology, signs, weights, states)."""
+    """Digest of a graph's full content (topology, signs, weights, states).
+
+    Memoized per graph instance against the graph's mutation
+    :attr:`~repro.graphs.signed_digraph.SignedDiGraph.version` counter:
+    repeated cached-run calls on the same unmutated graph used to
+    re-sort and re-hash all ``V + E`` items every time; now only the
+    first call (and the first call after any mutation) pays for it.
+    """
+    version = getattr(graph, "version", None)
+    if version is not None:
+        cached = getattr(graph, "_digest_cache", None)
+        if cached is not None and cached[0] == version:
+            return cached[1]
     h = hashlib.blake2b(digest_size=16)
     for node in sorted(graph.nodes(), key=repr):
         h.update(repr((node, int(graph.state(node)))).encode("utf-8"))
     for u, v, data in sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1]))):
         h.update(repr((u, v, int(data.sign), data.weight)).encode("utf-8"))
-    return h.hexdigest()
+    digest = h.hexdigest()
+    if version is not None:
+        graph._digest_cache = (version, digest)
+    return digest
 
 
 def model_digest(model: object) -> str:
-    """Digest of a diffusion model's identity and parameters."""
+    """Digest of a diffusion model's identity and parameters.
+
+    Underscored attributes are excluded: they hold execution details —
+    e.g. the models' ``_use_kernel`` dispatch flag, whose two settings
+    produce bit-identical cascades — that must not fork cache keys.
+    """
     name = getattr(model, "name", type(model).__name__)
-    params = tuple(sorted((k, repr(v)) for k, v in vars(model).items()))
+    params = tuple(
+        sorted(
+            (k, repr(v)) for k, v in vars(model).items() if not k.startswith("_")
+        )
+    )
     return stable_digest(name, params)
 
 

@@ -79,6 +79,8 @@ def assign_jaccard_weights(
         else:
             score *= max(1.0, gain * negative_gain_fraction)
         data.weight = min(1.0, score)
+    # Payloads were mutated in place, bypassing set_weight's bookkeeping.
+    diffusion.bump_version()
     return diffusion
 
 
@@ -139,4 +141,5 @@ def assign_uniform_weights(
     lo, hi = weight_range
     for _, _, data in graph.iter_edges():
         data.weight = lo + (hi - lo) * random.random()
+    graph.bump_version()
     return graph

@@ -91,6 +91,10 @@ class TestMonteCarlo:
         assert estimate.trials == 8
         assert estimate.mean_infected >= 1.0
         assert 0.0 <= estimate.mean_positive_fraction <= 1.0
+        assert 0.0 <= estimate.mean_negative_fraction <= 1.0
+        assert estimate.mean_positive_fraction + estimate.mean_negative_fraction == (
+            pytest.approx(1.0)
+        )
         assert estimate.std_infected >= 0.0
 
     def test_certain_path_spread(self):
@@ -100,6 +104,7 @@ class TestMonteCarlo:
         )
         assert estimate.mean_infected == 5.0
         assert estimate.mean_positive_fraction == 1.0
+        assert estimate.mean_negative_fraction == 0.0
 
 
 class BurnoutModel(DiffusionModel):
@@ -136,10 +141,12 @@ class TestEmptyCascadeConvention:
             BurnoutModel(empty_trials=[1, 3]), ring(), {0: NodeState.POSITIVE}, trials=4
         )
         assert estimate.mean_positive_fraction == 1.0
+        assert estimate.mean_negative_fraction == 0.0
         assert estimate.trials == 4  # empty trials still counted here
 
     def test_all_empty_trials_give_zero_fraction(self):
         model = BurnoutModel(empty_trials=range(3))
         estimate = estimate_spread(model, ring(), {0: NodeState.POSITIVE}, trials=3)
         assert estimate.mean_positive_fraction == 0.0
+        assert estimate.mean_negative_fraction == 0.0
         assert estimate.mean_infected == 0.0

@@ -218,3 +218,74 @@ class TestWholeGraphOps:
     def test_repr_mentions_counts(self, graph):
         assert "3 nodes" in repr(graph)
         assert "3 edges" in repr(graph)
+
+
+class TestNeighborsOrder:
+    def test_neighbors_repr_sorted_order_pinned(self):
+        """`neighbors` must return repr-sorted order, not set order.
+
+        Regression: it used to list a raw set union, so the order varied
+        with PYTHONHASHSEED. Note the pinned order is lexicographic on
+        repr (10 sorts before 2), the library's canonical node order.
+        """
+        g = SignedDiGraph()
+        g.add_edge(5, 2, 1, 0.5)    # successor of 5
+        g.add_edge(10, 5, 1, 0.5)   # predecessor of 5
+        g.add_edge(5, 1, -1, 0.5)   # successor of 5
+        assert g.neighbors(5) == [1, 10, 2]
+
+    def test_neighbors_order_stable_across_insertion_orders(self):
+        a = SignedDiGraph()
+        a.add_edge("x", "m", 1, 0.5)
+        a.add_edge("n", "x", 1, 0.5)
+        b = SignedDiGraph()
+        b.add_edge("n", "x", 1, 0.5)
+        b.add_edge("x", "m", 1, 0.5)
+        assert a.neighbors("x") == b.neighbors("x") == ["m", "n"]
+
+
+class TestVersionCounters:
+    def test_fresh_graph_starts_at_zero(self):
+        g = SignedDiGraph()
+        assert g.version == 0
+        assert g.structure_version == 0
+
+    def test_every_mutator_bumps_version(self, graph):
+        before = graph.version
+        graph.add_node(4)
+        graph.add_edge(4, 1, 1, 0.5)
+        graph.set_weight(4, 1, 0.6)
+        graph.set_state(4, NodeState.POSITIVE)
+        graph.remove_edge(4, 1)
+        graph.remove_node(4)
+        graph.reset_states()
+        assert graph.version >= before + 7
+
+    def test_state_changes_do_not_bump_structure_version(self, graph):
+        before = graph.structure_version
+        graph.set_state(1, NodeState.POSITIVE)
+        graph.set_states({2: NodeState.NEGATIVE})
+        graph.reset_states()
+        assert graph.structure_version == before
+        assert graph.version > 0
+
+    def test_structural_changes_bump_structure_version(self, graph):
+        before = graph.structure_version
+        graph.set_weight(1, 2, 0.9)
+        assert graph.structure_version == before + 1
+        graph.add_edge(1, 3, -1, 0.1)
+        assert graph.structure_version == before + 2
+        graph.remove_edge(1, 3)
+        assert graph.structure_version == before + 3
+
+    def test_idempotent_add_node_does_not_bump(self, graph):
+        before = graph.version
+        graph.add_node(1)  # already present
+        assert graph.version == before
+
+    def test_bump_version_records_out_of_band_mutation(self, graph):
+        v, s = graph.version, graph.structure_version
+        graph.bump_version()
+        assert (graph.version, graph.structure_version) == (v + 1, s + 1)
+        graph.bump_version(structural=False)
+        assert (graph.version, graph.structure_version) == (v + 2, s + 1)
