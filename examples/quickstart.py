@@ -1,63 +1,62 @@
 #!/usr/bin/env python
 """Quickstart: simulate a rumor on a signed network and find its source.
 
-Walks the library's core loop end to end:
+Walks the library's core loop end to end through the stable facade
+(``repro.simulate`` / ``repro.detect``):
 
 1. synthesise an Epinions-like signed social network;
 2. reverse it into the diffusion network and weight links by Jaccard
    coefficients (the paper's Sec. IV-B3 setup);
 3. plant rumor initiators and run the MFC cascade;
 4. hand the infected snapshot to RID and compare its answer with the
-   planted ground truth.
+   planted ground truth — collecting per-stage metrics along the way
+   (see docs/observability.md).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    MFCModel,
-    RID,
-    RIDConfig,
-    assign_jaccard_weights,
-    generate_epinions_like,
-    identity_metrics,
-    plant_random_initiators,
-    state_metrics,
-    to_diffusion_network,
-)
+import repro
+from repro.obs import MetricsRecorder, format_report
 
 SEED = 7
 
 
 def main() -> None:
     # 1. A miniature Epinions-shaped signed social network (~0.5% scale).
-    social = generate_epinions_like(scale=0.005, rng=SEED)
+    social = repro.generate_epinions_like(scale=0.005, rng=SEED)
     print(f"social network: {social.number_of_nodes()} users, "
           f"{social.number_of_edges()} signed links")
 
     # 2. Diffusion network: reversed links, Jaccard-coefficient weights.
-    diffusion = to_diffusion_network(social)
-    assign_jaccard_weights(diffusion, social, rng=SEED, gain=16.0)
+    diffusion = repro.to_diffusion_network(social)
+    repro.assign_jaccard_weights(diffusion, social, rng=SEED, gain=16.0)
 
     # 3. Plant 20 initiators (half believing, half disbelieving the rumor)
-    #    and let MFC spread it until quiescence.
-    seeds = plant_random_initiators(diffusion, count=20, positive_ratio=0.5, rng=SEED)
-    cascade = MFCModel(alpha=3.0).run(diffusion, seeds, rng=SEED)
+    #    and let MFC spread it until quiescence. The recorder collects
+    #    kernel counters and RID stage timings across both calls.
+    recorder = MetricsRecorder()
+    seeds = repro.plant_random_initiators(
+        diffusion, count=20, positive_ratio=0.5, rng=SEED
+    )
+    cascade = repro.simulate(diffusion, seeds, model="mfc", rng=SEED, recorder=recorder)
     infected = cascade.infected_network(diffusion)
     flips = sum(1 for event in cascade.events if event.was_flip)
     print(f"cascade: {cascade.rounds} rounds, {infected.number_of_nodes()} infected "
           f"users, {flips} opinion flips")
 
     # 4. Detect the initiators from the snapshot alone.
-    detector = RID(RIDConfig(alpha=3.0, beta=0.8))
-    result = detector.detect(infected)
+    result = repro.detect(
+        diffusion, cascade, config=repro.RIDConfig(alpha=3.0, beta=0.8),
+        recorder=recorder,
+    )
     print(f"RID detected {len(result.initiators)} initiators "
           f"across {len(result.trees)} cascade trees")
 
-    identity = identity_metrics(result.initiators, set(seeds))
+    identity = repro.identity_metrics(result.initiators, set(seeds))
     print(f"identity: precision={identity.precision:.3f} "
           f"recall={identity.recall:.3f} F1={identity.f1:.3f}")
 
-    states = state_metrics(result.states, seeds)
+    states = repro.state_metrics(result.states, seeds)
     if states.evaluated:
         print(f"states (over {states.evaluated} correctly identified): "
               f"accuracy={states.accuracy:.3f} MAE={states.mae:.3f}")
@@ -67,6 +66,10 @@ def main() -> None:
 
     print()
     print(render_forest(result.trees, max_trees=1, max_depth=3, max_children=3))
+
+    # Where did the time go? (spans + counters from both calls above)
+    print()
+    print(format_report(recorder.metrics, title="quickstart observability"))
 
 
 if __name__ == "__main__":

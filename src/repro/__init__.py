@@ -16,22 +16,19 @@ The package implements, from scratch:
   experiment harness regenerating every table and figure
   (:mod:`repro.metrics`, :mod:`repro.experiments`).
 
-Quickstart::
+Quickstart (the stable facade — see :mod:`repro.api`)::
 
-    from repro import (
-        MFCModel, RID, RIDConfig, generate_epinions_like,
-        to_diffusion_network, assign_jaccard_weights, plant_random_initiators,
-    )
+    import repro
 
-    social = generate_epinions_like(scale=0.01, rng=7)
-    diffusion = to_diffusion_network(social)
-    assign_jaccard_weights(diffusion, social, rng=7)
-    seeds = plant_random_initiators(diffusion, count=10, rng=7)
-    cascade = MFCModel(alpha=3.0).run(diffusion, seeds, rng=7)
-    infected = cascade.infected_network(diffusion)
-    detected = RID(RIDConfig(beta=0.1)).detect(infected)
+    social = repro.generate_epinions_like(scale=0.01, rng=7)
+    diffusion = repro.to_diffusion_network(social)
+    repro.assign_jaccard_weights(diffusion, social, rng=7)
+    seeds = repro.plant_random_initiators(diffusion, count=10, rng=7)
+    cascade = repro.simulate(diffusion, seeds, model="mfc", rng=7)
+    detected = repro.detect(diffusion, cascade)
 """
 
+from repro.api import detect, evaluate, simulate
 from repro.core.baselines import (
     DetectionResult,
     Detector,
@@ -56,13 +53,31 @@ from repro.graphs.generators import (
     generate_slashdot_like,
 )
 from repro.metrics import identity_metrics, state_metrics
-from repro.runtime import RuntimeConfig
+from repro.obs import (
+    MetricsRecorder,
+    NullRecorder,
+    Recorder,
+    TraceRecorder,
+    format_report,
+    using_recorder,
+)
+from repro.runtime import RuntimeConfig, TrialReport
 from repro.types import NodeState, Sign
 from repro.weights import assign_jaccard_weights
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "detect",
+    "simulate",
+    "evaluate",
+    "Recorder",
+    "NullRecorder",
+    "MetricsRecorder",
+    "TraceRecorder",
+    "format_report",
+    "using_recorder",
+    "TrialReport",
     "SignedDiGraph",
     "Sign",
     "NodeState",

@@ -1,0 +1,240 @@
+"""The stable facade: ``repro.detect`` / ``repro.simulate`` / ``repro.evaluate``.
+
+Callers should not need to know which submodule holds the RID pipeline,
+the cascade kernel, or the trial runtime. This module is the blessed,
+instrumentable entry surface:
+
+* :func:`detect` — snapshot in, :class:`DetectionResult` out;
+* :func:`simulate` — run a diffusion model (by instance or name) once
+  or many times with deterministic derived seeds;
+* :func:`evaluate` — score a detector against a ground-truthed
+  workload, single-shot or trial-averaged.
+
+Every function takes an optional ``recorder=`` (see :mod:`repro.obs`)
+and installs it as the ambient recorder for the duration of the call,
+so all stage spans and kernel counters land in one report::
+
+    import repro
+    from repro.obs import MetricsRecorder, format_report
+
+    recorder = MetricsRecorder()
+    result = repro.detect(diffusion, cascade, recorder=recorder)
+    print(format_report(recorder.metrics))
+
+Compatibility contract: names exported here (and re-exported from
+:mod:`repro`) keep their signatures stable across releases; superseded
+keywords go through a :class:`DeprecationWarning` cycle first (e.g. the
+detector ``k=``/``max_k=`` budget spellings).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.core.baselines import DetectionResult, Detector
+from repro.core.rid import RID, RIDConfig
+from repro.diffusion.base import DiffusionModel, DiffusionResult
+from repro.diffusion.ic import ICModel
+from repro.diffusion.lt import LTModel
+from repro.diffusion.mfc import MFCModel
+from repro.diffusion.monte_carlo import simulate_many
+from repro.diffusion.pic import PICModel
+from repro.diffusion.sir import SIRModel
+from repro.diffusion.voter import SignedVoterModel
+from repro.errors import ConfigError
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.obs.recorder import Recorder, resolve_recorder, using_recorder
+from repro.runtime.config import RuntimeConfig
+from repro.types import Node, NodeState
+from repro.utils.rng import RandomSource
+
+#: Model names accepted by :func:`simulate`'s ``model=`` argument.
+MODEL_REGISTRY = {
+    "mfc": MFCModel,
+    "ic": ICModel,
+    "lt": LTModel,
+    "sir": SIRModel,
+    "voter": SignedVoterModel,
+    "pic": PICModel,
+}
+
+#: A snapshot: an infected network, a simulation outcome, or observed states.
+Snapshot = Union[SignedDiGraph, DiffusionResult, Mapping[Node, NodeState], None]
+
+
+def _resolve_model(model: Union[DiffusionModel, str, None]) -> DiffusionModel:
+    if model is None:
+        return MFCModel()
+    if isinstance(model, DiffusionModel):
+        return model
+    try:
+        factory = MODEL_REGISTRY[model]
+    except (KeyError, TypeError):
+        raise ConfigError(
+            f"unknown diffusion model {model!r}; expected a DiffusionModel "
+            f"instance or one of {sorted(MODEL_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def infected_snapshot(graph: SignedDiGraph, snapshot: Snapshot) -> SignedDiGraph:
+    """Materialise the infected network ``G_I`` from any snapshot form.
+
+    Accepts the three ways callers naturally hold an observation:
+
+    * ``None`` — ``graph`` *is* the infected network already (its nodes
+      carry observed states);
+    * a :class:`DiffusionResult` — the simulation outcome; its infected
+      subgraph of ``graph`` is extracted;
+    * a mapping ``node → state`` — observed states; the infected
+      subgraph over actively-stated nodes is induced from ``graph``.
+    """
+    if snapshot is None:
+        return graph
+    if isinstance(snapshot, DiffusionResult):
+        return snapshot.infected_network(graph)
+    if isinstance(snapshot, SignedDiGraph):
+        return snapshot
+    states = {node: NodeState(state) for node, state in snapshot.items()}
+    infected = [node for node, state in states.items() if state.is_active]
+    for node in infected:
+        if not graph.has_node(node):
+            raise ConfigError(f"snapshot node {node!r} is not in the network")
+    sub = graph.subgraph(infected, name="infected")
+    for node in infected:
+        sub.set_state(node, states[node])
+    return sub
+
+
+def detect(
+    graph: SignedDiGraph,
+    snapshot: Snapshot = None,
+    *,
+    config: Optional[RIDConfig] = None,
+    detector: Optional[Detector] = None,
+    budget: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
+) -> DetectionResult:
+    """Detect the rumor initiators behind an infected snapshot.
+
+    Args:
+        graph: the diffusion network (or, with ``snapshot=None``, the
+            infected network itself).
+        snapshot: the observation — see :func:`infected_snapshot`.
+        config: RID hyper-parameters (validated eagerly; default
+            :class:`RIDConfig`). Ignored when ``detector`` is given.
+        detector: run this detector instead of RID (any object honouring
+            the :class:`~repro.core.baselines.Detector` protocol).
+        budget: when given, detect exactly this many initiators via
+            ``detect_with_budget`` (RID's exact knapsack).
+        recorder: observability sink, installed as the ambient recorder
+            for the whole call.
+
+    Returns:
+        The :class:`DetectionResult` with initiator identities, inferred
+        states (where the detector provides them), and cascade trees.
+    """
+    if detector is None:
+        detector = RID(config or RIDConfig())
+    elif config is not None:
+        raise ConfigError("pass either config= (for RID) or detector=, not both")
+    rec = resolve_recorder(recorder)
+    with using_recorder(rec):
+        infected = infected_snapshot(graph, snapshot)
+        if budget is not None:
+            return detector.detect_with_budget(infected, budget, recorder=rec)
+        return detector.detect(infected, recorder=rec)
+
+
+def simulate(
+    graph: SignedDiGraph,
+    seeds: Dict[Node, NodeState],
+    *,
+    model: Union[DiffusionModel, str, None] = None,
+    trials: Optional[int] = None,
+    rng: RandomSource = 0,
+    runtime: Optional[RuntimeConfig] = None,
+    recorder: Optional[Recorder] = None,
+) -> Union[DiffusionResult, List[DiffusionResult]]:
+    """Spread a rumor from ``seeds`` over ``graph``.
+
+    Args:
+        graph: the weighted signed diffusion network.
+        seeds: initiators with their initial states (``{-1, +1}``).
+        model: a :class:`~repro.diffusion.base.DiffusionModel` instance
+            or a registry name (``'mfc'``, ``'ic'``, ``'lt'``, ``'sir'``,
+            ``'voter'``, ``'pic'``); default MFC with paper parameters.
+        trials: ``None`` runs one cascade and returns its
+            :class:`DiffusionResult`; an integer runs that many
+            independent cascades (deterministic derived seeds, optional
+            process-pool fan-out via ``runtime``) and returns a list.
+        rng: seed or generator; for multi-trial runs it must be an
+            integer base seed.
+        runtime: trial fan-out configuration (multi-trial runs only).
+        recorder: observability sink, installed as the ambient recorder
+            for the whole call.
+    """
+    resolved = _resolve_model(model)
+    rec = resolve_recorder(recorder)
+    with using_recorder(rec):
+        if trials is None:
+            return resolved.run(graph, seeds, rng=rng)
+        if not isinstance(rng, int):
+            raise ConfigError(
+                "multi-trial simulate() derives per-trial seeds and needs an "
+                f"integer base seed, got {type(rng).__name__}"
+            )
+        return simulate_many(
+            resolved, graph, seeds, trials, base_seed=rng, runtime=runtime,
+            recorder=rec,
+        )
+
+
+def evaluate(
+    detector,
+    workload,
+    runtime: Optional[RuntimeConfig] = None,
+    *,
+    trials: int = 3,
+    recorder: Optional[Recorder] = None,
+):
+    """Score a detector against a ground-truthed workload.
+
+    Args:
+        detector: a :class:`~repro.core.baselines.Detector` instance or
+            a zero-argument factory returning one (factories rebuild the
+            detector per trial, keeping per-run diagnostics separate).
+        workload: a materialised
+            :class:`~repro.experiments.workload.Workload` (scored once,
+            returning a
+            :class:`~repro.experiments.runner.DetectorEvaluation`) or a
+            :class:`~repro.experiments.config.WorkloadConfig` (scored
+            over ``trials`` derived workloads, returning an
+            :class:`~repro.experiments.runner.AggregatedEvaluation`).
+        runtime: optional trial fan-out configuration (config form only).
+        trials: number of derived workloads (config form only).
+        recorder: observability sink, installed as the ambient recorder
+            for the whole call.
+    """
+    # Imported here: repro.api is imported from repro/__init__, and the
+    # experiments package imports repro submodules back.
+    from repro.experiments.config import WorkloadConfig
+    from repro.experiments.runner import evaluate_detector, run_detection_trials
+    from repro.experiments.workload import Workload
+
+    rec = resolve_recorder(recorder)
+    factory = detector if callable(detector) and not isinstance(detector, Detector) else None
+    with using_recorder(rec):
+        if isinstance(workload, Workload):
+            instance = factory() if factory is not None else detector
+            return evaluate_detector(instance, workload, recorder=rec)
+        if isinstance(workload, WorkloadConfig):
+            make = factory if factory is not None else (lambda: detector)
+            name = getattr(make(), "name", "detector")
+            scores = run_detection_trials(
+                workload, {name: make}, trials=trials, runtime=runtime
+            )
+            return scores[name]
+    raise ConfigError(
+        f"workload must be a Workload or WorkloadConfig, got {type(workload).__name__}"
+    )

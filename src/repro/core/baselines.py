@@ -16,14 +16,55 @@ cannot infer initial states, so their results carry no state map.
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.core.binarize import find_tree_root
 from repro.core.cascade_forest import extract_cascade_forest
+from repro.errors import ConfigError
 from repro.graphs.signed_digraph import SignedDiGraph
 from repro.graphs.transforms import positive_subgraph
+from repro.obs.recorder import Recorder, resolve_recorder
 from repro.types import Node, NodeState
+
+
+def resolve_budget_kwargs(
+    budget: Optional[int],
+    k: Optional[int] = None,
+    max_k: Optional[int] = None,
+    method: str = "detect_with_budget",
+) -> int:
+    """Normalise the historical budget spellings onto ``budget``.
+
+    Detectors grew up with three names for the same number — ``budget``
+    (RID's knapsack entry point), ``k`` (the k-ISOMIT problem
+    statement), and ``max_k`` (the extension detectors). The unified
+    :class:`Detector` signature accepts all three; the legacy two warn
+    with :class:`DeprecationWarning` and keep working.
+
+    Raises:
+        ConfigError: when no value, or conflicting values, are given.
+    """
+    aliases = [("k", k), ("max_k", max_k)]
+    resolved = budget
+    for name, value in aliases:
+        if value is None:
+            continue
+        warnings.warn(
+            f"{method}({name}=...) is deprecated; pass budget=... instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if resolved is not None and resolved != value:
+            raise ConfigError(
+                f"conflicting initiator budgets: budget={resolved!r} vs "
+                f"{name}={value!r}"
+            )
+        resolved = value
+    if resolved is None:
+        raise ConfigError(f"{method}() needs an initiator budget (budget=...)")
+    return resolved
 
 
 @dataclass
@@ -71,13 +112,49 @@ class Detector(abc.ABC):
     A detector consumes an infected diffusion network ``G_I`` — nodes
     carrying observed states in ``{-1, +1}`` — and returns a
     :class:`DetectionResult`.
+
+    The unified protocol (every implementation honours it):
+
+    * ``detect(infected, recorder=None)`` — open-ended detection; the
+      optional :class:`~repro.obs.recorder.Recorder` receives the
+      detector's stage spans and counters (ambient recorder used when
+      omitted).
+    * ``detect_with_budget(infected, budget=..., recorder=None)`` —
+      fixed-count detection for detectors that support it. The legacy
+      keyword spellings ``k=`` and ``max_k=`` still work but emit
+      :class:`DeprecationWarning`.
     """
 
     name: str = "detector"
 
     @abc.abstractmethod
-    def detect(self, infected: SignedDiGraph) -> DetectionResult:
+    def detect(
+        self, infected: SignedDiGraph, recorder: Optional[Recorder] = None
+    ) -> DetectionResult:
         """Identify the most likely rumor initiators of ``infected``."""
+
+    def detect_with_budget(
+        self,
+        infected: SignedDiGraph,
+        budget: Optional[int] = None,
+        *,
+        k: Optional[int] = None,
+        max_k: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
+    ) -> DetectionResult:
+        """Detect exactly ``budget`` initiators (where supported).
+
+        The base implementation rejects the call: only detectors that
+        can honour an exact count (RID's knapsack) override it.
+
+        Raises:
+            NotImplementedError: for detectors without budget support.
+            ConfigError: on missing or conflicting budget keywords.
+        """
+        resolve_budget_kwargs(budget, k=k, max_k=max_k)
+        raise NotImplementedError(
+            f"{self.name} does not support budgeted detection"
+        )
 
 
 class RIDTreeDetector(Detector):
@@ -94,16 +171,23 @@ class RIDTreeDetector(Detector):
         self.score = score
         self.prune_inconsistent = prune_inconsistent
 
-    def detect(self, infected: SignedDiGraph) -> DetectionResult:
+    def detect(
+        self, infected: SignedDiGraph, recorder: Optional[Recorder] = None
+    ) -> DetectionResult:
         # No consistency pruning by default: the paper's guarantee that
         # "the detected rumor initiators by RID-Tree are all real rumor
         # initiators" is exactly the property of in-degree-0 nodes in the
         # *unpruned* infected network (an infected node with no infected
         # in-neighbour at all must be an initiator).
-        trees = extract_cascade_forest(
-            infected, score=self.score, prune_inconsistent=self.prune_inconsistent
-        )
-        roots = {find_tree_root(tree) for tree in trees}
+        rec = resolve_recorder(recorder)
+        with rec.span("detect", method=self.name):
+            trees = extract_cascade_forest(
+                infected,
+                score=self.score,
+                prune_inconsistent=self.prune_inconsistent,
+                recorder=rec,
+            )
+            roots = {find_tree_root(tree) for tree in trees}
         return DetectionResult(method=self.name, initiators=roots, trees=trees)
 
 
@@ -121,11 +205,15 @@ class RIDPositiveDetector(Detector):
     def __init__(self, score: str = "log") -> None:
         self.score = score
 
-    def detect(self, infected: SignedDiGraph) -> DetectionResult:
-        positive_only = positive_subgraph(infected)
-        # The unsigned method of [13] is sign-blind: no consistency pruning.
-        trees = extract_cascade_forest(
-            positive_only, score=self.score, prune_inconsistent=False
-        )
-        roots = {find_tree_root(tree) for tree in trees}
+    def detect(
+        self, infected: SignedDiGraph, recorder: Optional[Recorder] = None
+    ) -> DetectionResult:
+        rec = resolve_recorder(recorder)
+        with rec.span("detect", method=self.name):
+            positive_only = positive_subgraph(infected)
+            # The unsigned method of [13] is sign-blind: no consistency pruning.
+            trees = extract_cascade_forest(
+                positive_only, score=self.score, prune_inconsistent=False, recorder=rec
+            )
+            roots = {find_tree_root(tree) for tree in trees}
         return DetectionResult(method=self.name, initiators=roots, trees=trees)

@@ -12,13 +12,14 @@ rumor-initiator set that RID refines further.
 from __future__ import annotations
 
 from collections import deque
-from typing import List
+from typing import List, Optional
 
 from repro.core.arborescence import branching_roots, maximum_spanning_branching
 from repro.core.components import infected_components
 from repro.errors import EmptyInfectionError
 from repro.graphs.signed_digraph import SignedDiGraph
 from repro.graphs.transforms import prune_inconsistent_links
+from repro.obs.recorder import Recorder, resolve_recorder
 from repro.types import Node
 
 
@@ -50,6 +51,7 @@ def extract_cascade_forest(
     score: str = "log",
     per_component: bool = True,
     prune_inconsistent: bool = True,
+    recorder: Optional[Recorder] = None,
 ) -> List[SignedDiGraph]:
     """Extract the maximum-likelihood infected cascade trees (Algorithm 4).
 
@@ -65,6 +67,9 @@ def extract_cascade_forest(
             paper's "prune the non-existing activation links" step
             (Sec. III-E1/E2 operate on the *pruned* infected network).
             Disable for the sign-blind unsigned variants.
+        recorder: observability sink; records the ``rid.prune``,
+            ``rid.components`` and ``rid.extract_trees`` stage spans
+            plus component/tree counters (ambient recorder by default).
 
     Returns:
         The list of extracted cascade trees, each a rooted arborescence
@@ -75,11 +80,21 @@ def extract_cascade_forest(
     """
     if infected.number_of_nodes() == 0:
         raise EmptyInfectionError("infected network has no nodes")
+    rec = resolve_recorder(recorder)
     if prune_inconsistent:
-        infected = prune_inconsistent_links(infected)
-    pieces = infected_components(infected) if per_component else [infected]
+        edges_before = infected.number_of_edges()
+        with rec.span("rid.prune"):
+            infected = prune_inconsistent_links(infected)
+        if rec.enabled:
+            rec.incr("rid.pruned_links", edges_before - infected.number_of_edges())
+    with rec.span("rid.components"):
+        pieces = infected_components(infected) if per_component else [infected]
     trees: List[SignedDiGraph] = []
-    for piece in pieces:
-        branching = maximum_spanning_branching(piece, score=score)
-        trees.extend(split_branching_into_trees(branching))
+    with rec.span("rid.extract_trees", components=len(pieces)):
+        for piece in pieces:
+            branching = maximum_spanning_branching(piece, score=score)
+            trees.extend(split_branching_into_trees(branching))
+    if rec.enabled:
+        rec.incr("rid.components", len(pieces))
+        rec.incr("rid.trees", len(trees))
     return trees

@@ -19,12 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.baselines import DetectionResult, Detector
+from repro.core.baselines import DetectionResult, Detector, resolve_budget_kwargs
 from repro.core.binarize import binarize_cascade_tree
 from repro.core.cascade_forest import extract_cascade_forest
 from repro.core.tree_dp import KIsomitBTSolver, TreeDPResult
 from repro.errors import ConfigError
 from repro.graphs.signed_digraph import SignedDiGraph
+from repro.obs.recorder import Recorder, resolve_recorder
 from repro.types import Node, NodeState
 
 
@@ -106,11 +107,17 @@ class RID(Detector):
 
     # ------------------------------------------------------------------
 
-    def select_initiators_for_tree(self, tree: SignedDiGraph) -> TreeSelection:
+    def select_initiators_for_tree(
+        self, tree: SignedDiGraph, recorder: Optional[Recorder] = None
+    ) -> TreeSelection:
         """Run the β-penalised k search on one cascade tree."""
-        binary = binarize_cascade_tree(
-            tree, alpha=self.config.alpha, inconsistent_value=self.config.inconsistent_value
-        )
+        rec = resolve_recorder(recorder)
+        with rec.span("rid.binarize"):
+            binary = binarize_cascade_tree(
+                tree,
+                alpha=self.config.alpha,
+                inconsistent_value=self.config.inconsistent_value,
+            )
         solver = KIsomitBTSolver(binary)
         max_k = binary.num_real
         if self.config.max_k_per_tree is not None:
@@ -119,16 +126,20 @@ class RID(Detector):
         best: Optional[TreeDPResult] = None
         best_objective = float("-inf")
         scanned = 0
-        for k in range(1, max_k + 1):
-            scanned += 1
-            result = solver.solve(k)
-            objective = result.score - (k - 1) * self.config.beta
-            if objective > best_objective:
-                best, best_objective = result, objective
-            elif self.config.k_strategy == "greedy":
-                # Paper heuristic: stop at the first k that fails to
-                # improve the penalised objective.
-                break
+        with rec.span("rid.tree_dp", tree_nodes=binary.num_real):
+            for k in range(1, max_k + 1):
+                scanned += 1
+                result = solver.solve(k)
+                objective = result.score - (k - 1) * self.config.beta
+                if objective > best_objective:
+                    best, best_objective = result, objective
+                elif self.config.k_strategy == "greedy":
+                    # Paper heuristic: stop at the first k that fails to
+                    # improve the penalised objective.
+                    break
+        if rec.enabled:
+            rec.gauge("rid.tree_nodes", binary.num_real)
+            rec.incr("rid.k_iterations", scanned)
         assert best is not None  # max_k >= 1 guarantees one iteration
         return TreeSelection(
             tree_size=binary.num_real,
@@ -139,21 +150,35 @@ class RID(Detector):
             scanned_k=scanned,
         )
 
-    def detect(self, infected: SignedDiGraph) -> DetectionResult:
-        """Full RID detection on an infected diffusion network."""
-        trees = extract_cascade_forest(
-            infected,
-            score=self.config.score,
-            prune_inconsistent=self.config.prune_inconsistent,
-        )
-        initiators: Dict[Node, NodeState] = {}
-        total_objective = 0.0
-        self.last_selections = []
-        for tree in trees:
-            selection = self.select_initiators_for_tree(tree)
-            self.last_selections.append(selection)
-            initiators.update(selection.initiators)
-            total_objective += selection.penalized_objective
+    def detect(
+        self, infected: SignedDiGraph, recorder: Optional[Recorder] = None
+    ) -> DetectionResult:
+        """Full RID detection on an infected diffusion network.
+
+        Stage spans recorded on the active recorder: ``rid.prune`` →
+        ``rid.components`` → ``rid.extract_trees`` → per-tree
+        ``rid.binarize`` → ``rid.tree_dp``, wrapped in one
+        ``rid.detect`` span (see ``docs/observability.md`` for the
+        span-to-paper-section mapping).
+        """
+        rec = resolve_recorder(recorder)
+        with rec.span("rid.detect", nodes=infected.number_of_nodes()):
+            trees = extract_cascade_forest(
+                infected,
+                score=self.config.score,
+                prune_inconsistent=self.config.prune_inconsistent,
+                recorder=rec,
+            )
+            initiators: Dict[Node, NodeState] = {}
+            total_objective = 0.0
+            self.last_selections = []
+            for tree in trees:
+                selection = self.select_initiators_for_tree(tree, recorder=rec)
+                self.last_selections.append(selection)
+                initiators.update(selection.initiators)
+                total_objective += selection.penalized_objective
+            if rec.enabled:
+                rec.incr("rid.detected_initiators", len(initiators))
         return DetectionResult(
             method=f"{self.name}(beta={self.config.beta})",
             initiators=set(initiators),
@@ -163,7 +188,13 @@ class RID(Detector):
         )
 
     def detect_with_budget(
-        self, infected: SignedDiGraph, budget: int
+        self,
+        infected: SignedDiGraph,
+        budget: Optional[int] = None,
+        *,
+        k: Optional[int] = None,
+        max_k: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
     ) -> DetectionResult:
         """k-ISOMIT: detect exactly ``budget`` initiators (known k).
 
@@ -179,14 +210,29 @@ class RID(Detector):
             budget: the exact number of initiators to report. Must be at
                 least the number of extracted trees (every tree needs
                 its root explained) and at most the infected-node count.
+            k: deprecated spelling of ``budget`` (warns).
+            max_k: deprecated spelling of ``budget`` (warns).
+            recorder: observability sink (ambient recorder by default).
 
         Raises:
-            ConfigError: for budgets outside the feasible range.
+            ConfigError: for budgets outside the feasible range, or
+                missing/conflicting budget keywords.
         """
+        budget = resolve_budget_kwargs(
+            budget, k=k, max_k=max_k, method=f"{self.name}.detect_with_budget"
+        )
+        rec = resolve_recorder(recorder)
+        with rec.span("rid.detect_with_budget", budget=budget):
+            return self._detect_with_budget(infected, budget, rec)
+
+    def _detect_with_budget(
+        self, infected: SignedDiGraph, budget: int, rec: Recorder
+    ) -> DetectionResult:
         trees = extract_cascade_forest(
             infected,
             score=self.config.score,
             prune_inconsistent=self.config.prune_inconsistent,
+            recorder=rec,
         )
         if budget < len(trees) or budget > infected.number_of_nodes():
             raise ConfigError(
@@ -199,16 +245,21 @@ class RID(Detector):
         results_by_tree: List[List[TreeDPResult]] = []
         tree_sizes: List[int] = []
         for tree in trees:
-            binary = binarize_cascade_tree(
-                tree,
-                alpha=self.config.alpha,
-                inconsistent_value=self.config.inconsistent_value,
-            )
+            with rec.span("rid.binarize"):
+                binary = binarize_cascade_tree(
+                    tree,
+                    alpha=self.config.alpha,
+                    inconsistent_value=self.config.inconsistent_value,
+                )
             solver = KIsomitBTSolver(binary)
             cap = binary.num_real
             if self.config.max_k_per_tree is not None:
                 cap = min(cap, self.config.max_k_per_tree)
-            per_k = [solver.solve(k) for k in range(1, cap + 1)]
+            with rec.span("rid.tree_dp", tree_nodes=binary.num_real):
+                per_k = [solver.solve(k) for k in range(1, cap + 1)]
+            if rec.enabled:
+                rec.gauge("rid.tree_nodes", binary.num_real)
+                rec.incr("rid.k_iterations", cap)
             solvers.append(solver)
             results_by_tree.append(per_k)
             curves.append([result.score for result in per_k])
@@ -217,22 +268,23 @@ class RID(Detector):
         # Knapsack over trees: best[j] = max total score using exactly j
         # initiators over the trees processed so far; each tree consumes
         # at least 1.
-        neg_inf = float("-inf")
-        best: List[float] = [0.0] + [neg_inf] * budget
-        choice: List[List[int]] = []  # choice[t][j] = k taken by tree t
-        for t, curve in enumerate(curves):
-            new_best = [neg_inf] * (budget + 1)
-            tree_choice = [0] * (budget + 1)
-            for j in range(budget + 1):
-                if best[j] == neg_inf:
-                    continue
-                for k, score in enumerate(curve, start=1):
-                    total = best[j] + score
-                    if j + k <= budget and total > new_best[j + k]:
-                        new_best[j + k] = total
-                        tree_choice[j + k] = k
-            best = new_best
-            choice.append(tree_choice)
+        with rec.span("rid.knapsack", budget=budget, trees=len(trees)):
+            neg_inf = float("-inf")
+            best: List[float] = [0.0] + [neg_inf] * budget
+            choice: List[List[int]] = []  # choice[t][j] = k taken by tree t
+            for t, curve in enumerate(curves):
+                new_best = [neg_inf] * (budget + 1)
+                tree_choice = [0] * (budget + 1)
+                for j in range(budget + 1):
+                    if best[j] == neg_inf:
+                        continue
+                    for k, score in enumerate(curve, start=1):
+                        total = best[j] + score
+                        if j + k <= budget and total > new_best[j + k]:
+                            new_best[j + k] = total
+                            tree_choice[j + k] = k
+                best = new_best
+                choice.append(tree_choice)
         if best[budget] == neg_inf:
             raise ConfigError(
                 f"budget {budget} is infeasible for the extracted trees "

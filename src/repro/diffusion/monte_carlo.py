@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.diffusion.base import DiffusionModel, DiffusionResult
 from repro.graphs.signed_digraph import SignedDiGraph
 from repro.kernel.compile import compile_graph
+from repro.obs.recorder import Recorder, resolve_recorder
 from repro.runtime.cache import (
     TrialCache,
     decode_diffusion_result,
@@ -97,9 +98,11 @@ def simulate_many_outcome(
     trials: int,
     base_seed: int = 0,
     runtime: Optional[RuntimeConfig] = None,
+    recorder: Optional[Recorder] = None,
 ) -> TrialOutcome:
     """Like :func:`simulate_many`, returning the execution report too."""
     runtime = runtime or SERIAL
+    rec = resolve_recorder(recorder)
     cache = key_fn = None
     if runtime.cache_dir is not None:
         cache = TrialCache(runtime.cache_dir)
@@ -119,17 +122,20 @@ def simulate_many_outcome(
     else:
         fn = _simulate_trial
         payload = (model, diffusion, seeds, base_seed)
-    return run_trials(
-        fn,
-        payload,
-        range(trials),
-        config=runtime,
-        cache=cache,
-        key_fn=key_fn,
-        encode=encode_diffusion_result,
-        decode=decode_diffusion_result,
-        label=f"simulate:{model.name}",
-    )
+    with rec.span("mc.simulate_many", model=model.name, trials=trials):
+        rec.incr("mc.trials", trials)
+        return run_trials(
+            fn,
+            payload,
+            range(trials),
+            config=runtime,
+            cache=cache,
+            key_fn=key_fn,
+            encode=encode_diffusion_result,
+            decode=decode_diffusion_result,
+            label=f"simulate:{model.name}",
+            recorder=rec,
+        )
 
 
 def simulate_many(
@@ -139,10 +145,11 @@ def simulate_many(
     trials: int,
     base_seed: int = 0,
     runtime: Optional[RuntimeConfig] = None,
+    recorder: Optional[Recorder] = None,
 ) -> List[DiffusionResult]:
     """Run ``trials`` independent cascades with derived deterministic seeds."""
     return simulate_many_outcome(
-        model, diffusion, seeds, trials, base_seed, runtime
+        model, diffusion, seeds, trials, base_seed, runtime, recorder
     ).results
 
 
@@ -153,6 +160,7 @@ def estimate_spread(
     trials: int = 20,
     base_seed: int = 0,
     runtime: Optional[RuntimeConfig] = None,
+    recorder: Optional[Recorder] = None,
 ) -> SpreadEstimate:
     """Estimate expected spread and state mix of ``model`` from ``seeds``.
 
@@ -160,7 +168,11 @@ def estimate_spread(
     cascades only (see :class:`SpreadEstimate`); ``trials`` still counts
     every simulation.
     """
-    results = simulate_many(model, diffusion, seeds, trials, base_seed, runtime)
+    rec = resolve_recorder(recorder)
+    with rec.span("mc.estimate_spread", model=model.name, trials=trials):
+        results = simulate_many(
+            model, diffusion, seeds, trials, base_seed, runtime, rec
+        )
     # One pass per result: the previous version walked final_states three
     # times (num_infected, infected_nodes, the per-node state lookups).
     sizes = []

@@ -9,7 +9,13 @@ Regenerates any of the paper's tables/figures from the terminal:
     repro-experiments fig2
     repro-experiments lemma31
     repro-experiments ablations
+    repro-experiments detect --scale 0.01
     repro-experiments all --scale 0.005
+
+Observability (see :mod:`repro.obs` and docs/observability.md):
+
+    repro-experiments detect --metrics              # per-stage counter table
+    repro-experiments fig4 --trace-out trace.json   # chrome://tracing file
 """
 
 from __future__ import annotations
@@ -29,6 +35,14 @@ from repro.experiments import (
     sweeps,
     table2,
 )
+from repro.obs import (
+    CompositeRecorder,
+    MetricsRecorder,
+    NullRecorder,
+    TraceRecorder,
+    format_report,
+    using_recorder,
+)
 from repro.runtime.config import RuntimeConfig
 
 ARTEFACTS = (
@@ -42,6 +56,7 @@ ARTEFACTS = (
     "robustness",
     "diffusion",
     "sweeps",
+    "detect",
     "all",
 )
 
@@ -74,7 +89,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for the on-disk trial cache (default: no caching)",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect per-stage counters and timings and print a report "
+        "after the run",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace (chrome://tracing / Perfetto) of the run "
+        "to FILE",
+    )
     return parser
+
+
+def run_detect(scale: float, seed: int) -> None:
+    """One end-to-end plant → spread → detect run via the stable facade.
+
+    The smallest artefact that exercises every instrumented stage —
+    handy with ``--metrics`` / ``--trace-out``.
+    """
+    from repro import api
+    from repro.experiments.config import WorkloadConfig
+    from repro.experiments.workload import build_workload
+    from repro.metrics.identity import identity_metrics
+
+    config = WorkloadConfig(dataset="epinions", scale=scale, seed=seed)
+    workload = build_workload(config, trial=0)
+    result = api.detect(workload.infected)
+    scores = identity_metrics(result.initiators, set(workload.seeds))
+    print(
+        f"detect: {workload.infected.number_of_nodes()} infected nodes, "
+        f"{len(workload.seeds)} planted, {len(result.initiators)} detected "
+        f"(precision {scores.precision:.3f}, recall {scores.recall:.3f}, "
+        f"f1 {scores.f1:.3f})"
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -82,26 +133,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     runtime = RuntimeConfig(workers=args.workers, cache_dir=args.cache_dir)
     runtime.validate()
-    if args.artefact in ("table2", "all"):
-        table2.main(scale=args.scale, seed=args.seed)
-    if args.artefact in ("fig2", "all"):
-        fig2.main(seed=args.seed, runtime=runtime)
-    if args.artefact in ("fig4", "all"):
-        fig4.main(scale=args.scale, trials=args.trials, seed=args.seed, runtime=runtime)
-    if args.artefact in ("fig5", "all"):
-        fig5.main(scale=args.scale, trials=args.trials, seed=args.seed, runtime=runtime)
-    if args.artefact in ("fig6", "all"):
-        fig6.main(scale=args.scale, trials=args.trials, seed=args.seed, runtime=runtime)
-    if args.artefact in ("lemma31", "all"):
-        lemma31.main(seed=args.seed)
-    if args.artefact in ("ablations", "all"):
-        ablations.main(seed=args.seed)
-    if args.artefact in ("robustness", "all"):
-        robustness.main(seed=args.seed, scale=args.scale)
-    if args.artefact in ("diffusion", "all"):
-        diffusion_analysis.main(scale=args.scale, trials=args.trials, seed=args.seed)
-    if args.artefact in ("sweeps", "all"):
-        sweeps.main(seed=args.seed, scale=args.scale)
+
+    metrics_recorder = MetricsRecorder() if args.metrics else None
+    trace_recorder = TraceRecorder() if args.trace_out else None
+    sinks = [r for r in (metrics_recorder, trace_recorder) if r is not None]
+    if len(sinks) > 1:
+        recorder = CompositeRecorder(*sinks)
+    elif sinks:
+        recorder = sinks[0]
+    else:
+        recorder = NullRecorder()
+
+    with using_recorder(recorder):
+        if args.artefact in ("table2", "all"):
+            table2.main(scale=args.scale, seed=args.seed)
+        if args.artefact in ("fig2", "all"):
+            fig2.main(seed=args.seed, runtime=runtime)
+        if args.artefact in ("fig4", "all"):
+            fig4.main(scale=args.scale, trials=args.trials, seed=args.seed, runtime=runtime)
+        if args.artefact in ("fig5", "all"):
+            fig5.main(scale=args.scale, trials=args.trials, seed=args.seed, runtime=runtime)
+        if args.artefact in ("fig6", "all"):
+            fig6.main(scale=args.scale, trials=args.trials, seed=args.seed, runtime=runtime)
+        if args.artefact in ("lemma31", "all"):
+            lemma31.main(seed=args.seed)
+        if args.artefact in ("ablations", "all"):
+            ablations.main(seed=args.seed)
+        if args.artefact in ("robustness", "all"):
+            robustness.main(seed=args.seed, scale=args.scale)
+        if args.artefact in ("diffusion", "all"):
+            diffusion_analysis.main(scale=args.scale, trials=args.trials, seed=args.seed)
+        if args.artefact in ("sweeps", "all"):
+            sweeps.main(seed=args.seed, scale=args.scale)
+        if args.artefact == "detect":
+            run_detect(scale=args.scale, seed=args.seed)
+
+    if metrics_recorder is not None:
+        print()
+        print(format_report(metrics_recorder.metrics, title=f"{args.artefact} observability"))
+    if trace_recorder is not None:
+        trace_recorder.export_chrome(args.trace_out)
+        print(f"trace written to {args.trace_out} (open in chrome://tracing)")
     return 0
 
 

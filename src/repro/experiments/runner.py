@@ -22,6 +22,7 @@ from repro.experiments.config import WorkloadConfig
 from repro.experiments.workload import Workload, build_workload
 from repro.metrics.identity import IdentityMetrics, identity_metrics
 from repro.metrics.state import StateMetrics, state_metrics
+from repro.obs.recorder import Recorder, resolve_recorder
 from repro.runtime.config import SERIAL, RuntimeConfig
 from repro.runtime.executor import run_trials
 
@@ -47,11 +48,18 @@ class DetectorEvaluation:
     seconds: float
 
 
-def evaluate_detector(detector: Detector, workload: Workload) -> DetectorEvaluation:
+def evaluate_detector(
+    detector: Detector,
+    workload: Workload,
+    recorder: Optional[Recorder] = None,
+) -> DetectorEvaluation:
     """Run ``detector`` on a workload and score it against ground truth."""
+    rec = resolve_recorder(recorder)
     start = time.perf_counter()
-    result: DetectionResult = detector.detect(workload.infected)
+    result: DetectionResult = detector.detect(workload.infected, recorder=rec)
     elapsed = time.perf_counter() - start
+    if rec.enabled:
+        rec.timing(f"eval.{detector.name}", elapsed)
     truth = set(workload.seeds)
     identity = identity_metrics(result.initiators, truth)
     state: Optional[StateMetrics] = None

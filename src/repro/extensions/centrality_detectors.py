@@ -10,12 +10,13 @@ from __future__ import annotations
 
 import abc
 from collections import deque
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.baselines import DetectionResult, Detector
 from repro.core.components import infected_components
 from repro.extensions.rumor_centrality import bfs_tree, rumor_centralities
 from repro.graphs.signed_digraph import SignedDiGraph
+from repro.obs.recorder import Recorder, resolve_recorder
 from repro.types import Node
 
 
@@ -41,13 +42,18 @@ class CentralityDetector(Detector):
     def score_component(self, component: SignedDiGraph) -> Dict[Node, float]:
         """Score every node of one component; higher = more source-like."""
 
-    def detect(self, infected: SignedDiGraph) -> DetectionResult:
+    def detect(
+        self, infected: SignedDiGraph, recorder: Optional[Recorder] = None
+    ) -> DetectionResult:
+        rec = resolve_recorder(recorder)
         initiators = set()
-        for component in infected_components(infected):
-            scores = self.score_component(component)
-            if scores:
-                best = max(sorted(scores, key=repr), key=lambda n: scores[n])
-                initiators.add(best)
+        with rec.span("detect", method=self.name):
+            for component in infected_components(infected):
+                with rec.span("centrality.score_component", method=self.name):
+                    scores = self.score_component(component)
+                if scores:
+                    best = max(sorted(scores, key=repr), key=lambda n: scores[n])
+                    initiators.add(best)
         return DetectionResult(method=self.name, initiators=initiators)
 
 

@@ -18,10 +18,12 @@ are graded it under-explains and RID's probabilistic machinery wins.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, FrozenSet, Optional, Set
 
 from repro.core.baselines import DetectionResult, Detector
 from repro.graphs.signed_digraph import SignedDiGraph
+from repro.obs.recorder import Recorder, resolve_recorder
 from repro.types import Node, NodeState
 
 
@@ -62,19 +64,46 @@ class CertaintyCoverDetector(Detector):
 
     Args:
         alpha: MFC boosting coefficient defining certain links.
-        max_initiators: optional cap on the cover size (None = run the
-            greedy until every infected node is explained — uncovered
-            residual nodes each become their own initiator, exactly as
-            in the reduction's exchange argument).
+        budget: optional cap on the cover size (None = run the greedy
+            until every infected node is explained — uncovered residual
+            nodes each become their own initiator, exactly as in the
+            reduction's exchange argument). The historical
+            ``max_initiators`` spelling still works but emits
+            :class:`DeprecationWarning`.
     """
 
     name = "certainty-cover"
 
-    def __init__(self, alpha: float = 3.0, max_initiators: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        alpha: float = 3.0,
+        budget: Optional[int] = None,
+        max_initiators: Optional[int] = None,
+    ) -> None:
+        if max_initiators is not None:
+            warnings.warn(
+                "CertaintyCoverDetector(max_initiators=...) is deprecated; "
+                "pass budget=... instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            budget = max_initiators
         self.alpha = alpha
-        self.max_initiators = max_initiators
+        self.budget = budget
 
-    def detect(self, infected: SignedDiGraph) -> DetectionResult:
+    @property
+    def max_initiators(self) -> Optional[int]:
+        """Deprecated alias of :attr:`budget` (kept for old readers)."""
+        return self.budget
+
+    def detect(
+        self, infected: SignedDiGraph, recorder: Optional[Recorder] = None
+    ) -> DetectionResult:
+        rec = resolve_recorder(recorder)
+        with rec.span("detect", method=self.name):
+            return self._detect(infected)
+
+    def _detect(self, infected: SignedDiGraph) -> DetectionResult:
         nodes = sorted(infected.nodes(), key=repr)
         closures: Dict[Node, FrozenSet[Node]] = {
             node: frozenset(consistent_certainty_closure(infected, node, self.alpha))
@@ -83,7 +112,7 @@ class CertaintyCoverDetector(Detector):
         uncovered: Set[Node] = set(nodes)
         chosen: Dict[Node, NodeState] = {}
         while uncovered:
-            if self.max_initiators is not None and len(chosen) >= self.max_initiators:
+            if self.budget is not None and len(chosen) >= self.budget:
                 break
             best = max(
                 nodes,
@@ -95,7 +124,7 @@ class CertaintyCoverDetector(Detector):
             chosen[best] = infected.state(best)
             uncovered -= closures[best]
         # Residual nodes (unreachable with certainty) explain themselves.
-        if self.max_initiators is None:
+        if self.budget is None:
             for node in sorted(uncovered, key=repr):
                 chosen[node] = infected.state(node)
         return DetectionResult(

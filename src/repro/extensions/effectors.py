@@ -18,6 +18,7 @@ unsigned state of the art" comparison point for RID.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Set
 
 from repro.core.baselines import DetectionResult, Detector
@@ -25,6 +26,7 @@ from repro.core.components import infected_components
 from repro.diffusion.ic import ICModel
 from repro.errors import InvalidModelParameterError
 from repro.graphs.signed_digraph import SignedDiGraph
+from repro.obs.recorder import Recorder, resolve_recorder
 from repro.types import Node, NodeState
 from repro.utils.rng import derive_seed
 
@@ -33,7 +35,9 @@ class KEffectorsDetector(Detector):
     """Greedy k-effectors over each infected component.
 
     Args:
-        k_per_component: effectors budget per connected component.
+        budget: effectors budget per connected component (the unified
+            keyword; the historical ``k_per_component`` spelling still
+            works but emits :class:`DeprecationWarning`).
         trials: Monte-Carlo samples per candidate evaluation.
         candidate_limit: evaluate at most this many candidates per
             component (highest out-degree first) to bound the cubic
@@ -45,22 +49,36 @@ class KEffectorsDetector(Detector):
 
     def __init__(
         self,
-        k_per_component: int = 1,
+        budget: int = 1,
         trials: int = 10,
         candidate_limit: Optional[int] = 30,
         seed: int = 0,
+        k_per_component: Optional[int] = None,
     ) -> None:
-        if k_per_component < 1:
+        if k_per_component is not None:
+            warnings.warn(
+                "KEffectorsDetector(k_per_component=...) is deprecated; "
+                "pass budget=... instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            budget = k_per_component
+        if budget < 1:
             raise InvalidModelParameterError(
-                f"k_per_component must be >= 1, got {k_per_component}"
+                f"budget must be >= 1, got {budget}"
             )
         if trials < 1:
             raise InvalidModelParameterError(f"trials must be >= 1, got {trials}")
-        self.k_per_component = k_per_component
+        self.budget = budget
         self.trials = trials
         self.candidate_limit = candidate_limit
         self.seed = seed
         self._ic = ICModel(propagate_signs=False)
+
+    @property
+    def k_per_component(self) -> int:
+        """Deprecated alias of :attr:`budget` (kept for old readers)."""
+        return self.budget
 
     # ------------------------------------------------------------------
 
@@ -98,7 +116,14 @@ class KEffectorsDetector(Detector):
             nodes = nodes[: self.candidate_limit]
         return nodes
 
-    def detect(self, infected: SignedDiGraph) -> DetectionResult:
+    def detect(
+        self, infected: SignedDiGraph, recorder: Optional[Recorder] = None
+    ) -> DetectionResult:
+        rec = resolve_recorder(recorder)
+        with rec.span("detect", method=self.name):
+            return self._detect(infected)
+
+    def _detect(self, infected: SignedDiGraph) -> DetectionResult:
         initiators: Set[Node] = set()
         for index, component in enumerate(infected_components(infected)):
             if component.number_of_nodes() == 1:
@@ -106,7 +131,7 @@ class KEffectorsDetector(Detector):
                 continue
             chosen: Set[Node] = set()
             candidates = self._candidates(component)
-            budget = min(self.k_per_component, len(candidates))
+            budget = min(self.budget, len(candidates))
             for step in range(budget):
                 best_candidate = None
                 best_cost = float("inf")

@@ -13,6 +13,7 @@ small snapshots and as a reference point in ablations.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Set
 
 from repro.core.baselines import DetectionResult, Detector
@@ -20,6 +21,7 @@ from repro.core.components import infected_components
 from repro.diffusion.mfc import MFCModel
 from repro.errors import InvalidModelParameterError
 from repro.graphs.signed_digraph import SignedDiGraph
+from repro.obs.recorder import Recorder, resolve_recorder
 from repro.types import Node, NodeState
 from repro.utils.rng import derive_seed
 
@@ -30,7 +32,9 @@ class SimulationMatchingDetector(Detector):
     Args:
         alpha: MFC boosting coefficient for the forward simulations.
         trials: Monte-Carlo samples per candidate evaluation.
-        max_initiators_per_component: growth budget per component.
+        budget: growth budget per component (the unified keyword; the
+            historical ``max_initiators_per_component`` spelling still
+            works but emits :class:`DeprecationWarning`).
         candidate_limit: shortlist size per component (by out-degree).
         improvement_threshold: minimum match-score gain to accept one
             more initiator (the stopping rule).
@@ -43,23 +47,35 @@ class SimulationMatchingDetector(Detector):
         self,
         alpha: float = 3.0,
         trials: int = 8,
-        max_initiators_per_component: int = 3,
+        budget: int = 3,
         candidate_limit: Optional[int] = 20,
         improvement_threshold: float = 0.01,
         seed: int = 0,
+        max_initiators_per_component: Optional[int] = None,
     ) -> None:
+        if max_initiators_per_component is not None:
+            warnings.warn(
+                "SimulationMatchingDetector(max_initiators_per_component=...) "
+                "is deprecated; pass budget=... instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            budget = max_initiators_per_component
         if trials < 1:
             raise InvalidModelParameterError(f"trials must be >= 1, got {trials}")
-        if max_initiators_per_component < 1:
-            raise InvalidModelParameterError(
-                "max_initiators_per_component must be >= 1"
-            )
+        if budget < 1:
+            raise InvalidModelParameterError("budget must be >= 1")
         self.model = MFCModel(alpha=alpha)
         self.trials = trials
-        self.max_initiators = max_initiators_per_component
+        self.budget = budget
         self.candidate_limit = candidate_limit
         self.improvement_threshold = improvement_threshold
         self.seed = seed
+
+    @property
+    def max_initiators(self) -> int:
+        """Deprecated alias of :attr:`budget` (kept for old readers)."""
+        return self.budget
 
     # ------------------------------------------------------------------
 
@@ -103,7 +119,14 @@ class SimulationMatchingDetector(Detector):
             nodes = nodes[: self.candidate_limit]
         return nodes
 
-    def detect(self, infected: SignedDiGraph) -> DetectionResult:
+    def detect(
+        self, infected: SignedDiGraph, recorder: Optional[Recorder] = None
+    ) -> DetectionResult:
+        rec = resolve_recorder(recorder)
+        with rec.span("detect", method=self.name):
+            return self._detect(infected)
+
+    def _detect(self, infected: SignedDiGraph) -> DetectionResult:
         initiators: Dict[Node, NodeState] = {}
         for index, component in enumerate(infected_components(infected)):
             if component.number_of_nodes() == 1:
@@ -113,7 +136,7 @@ class SimulationMatchingDetector(Detector):
             chosen: Dict[Node, NodeState] = {}
             best_score = float("-inf")
             candidates = self._candidates(component)
-            for step in range(min(self.max_initiators, len(candidates))):
+            for step in range(min(self.budget, len(candidates))):
                 best_candidate: Optional[Node] = None
                 best_candidate_score = best_score
                 for candidate in candidates:

@@ -26,11 +26,13 @@ positive link, swap ``1↔2`` (i.e. ``3 - s``) on a negative link".
 from __future__ import annotations
 
 import random as _random
-from typing import Dict, List, Tuple
+import time as _time
+from typing import Dict, List, Optional, Tuple
 
 from repro.diffusion.base import ActivationEvent, DiffusionResult
 from repro.errors import InvalidSeedError
 from repro.kernel.compile import CompiledGraph
+from repro.obs.recorder import Recorder, resolve_recorder
 from repro.types import INITIATOR_STATES, Node, NodeState
 
 #: byte encoding of active node states (index 0 is the inactive byte).
@@ -116,20 +118,20 @@ def _materialise(
     )
 
 
-def run_mfc_compiled(
+def _mfc_cascade(
     compiled: CompiledGraph,
     validated: Dict[Node, NodeState],
     random: _random.Random,
     alpha: float,
     allow_flips: bool,
     max_rounds: int,
-) -> DiffusionResult:
-    """MFC (paper Algorithm 1) over the CSR arrays.
+) -> Tuple[DiffusionResult, bytearray]:
+    """The bare MFC loop, exactly the pre-observability kernel fast path.
 
-    ``validated`` must already have passed seed validation (the model
-    wrappers call :func:`check_seeds_compiled` or the reference
-    ``check_seeds`` first, preserving the reference's validate-then-
-    spawn-RNG order).
+    Returns the result plus the per-slot attempt flags so the wrapper
+    can derive attempt counters without any in-loop bookkeeping.
+    ``benchmarks/bench_obs_overhead.py`` times this function directly as
+    the uninstrumented baseline — keep it free of recorder calls.
     """
     indptr, targets, _ = compiled.hot_rows()
     signs = compiled.signs
@@ -175,16 +177,73 @@ def run_mfc_compiled(
         fresh.sort()
         frontier = fresh
 
-    return _materialise(compiled, validated, events, log, rounds)
+    return _materialise(compiled, validated, events, log, rounds), tried
 
 
-def run_ic_compiled(
+def _record_cascade(
+    recorder: Recorder,
+    prefix: str,
+    result: DiffusionResult,
+    tried: bytearray,
+    seconds: float,
+) -> None:
+    """Fold one cascade's counters into ``recorder`` (post-run, O(m))."""
+    flips = sum(1 for event in result.events if event.was_flip)
+    activations = len(result.events) - len(result.seeds) - flips
+    recorder.incr(f"{prefix}.cascades")
+    recorder.incr(f"{prefix}.rounds", result.rounds)
+    # Every tried slot is one RNG roll on one distinct (u, v) edge — the
+    # kernel's unit of work ("edges touched").
+    recorder.incr(f"{prefix}.attempts", sum(tried))
+    recorder.incr(f"{prefix}.activations", activations)
+    recorder.incr(f"{prefix}.flips", flips)
+    recorder.gauge(f"{prefix}.infected", float(len(result.final_states)))
+    recorder.timing(f"{prefix}.cascade", seconds)
+
+
+def run_mfc_compiled(
+    compiled: CompiledGraph,
+    validated: Dict[Node, NodeState],
+    random: _random.Random,
+    alpha: float,
+    allow_flips: bool,
+    max_rounds: int,
+    recorder: Optional[Recorder] = None,
+) -> DiffusionResult:
+    """MFC (paper Algorithm 1) over the CSR arrays.
+
+    ``validated`` must already have passed seed validation (the model
+    wrappers call :func:`check_seeds_compiled` or the reference
+    ``check_seeds`` first, preserving the reference's validate-then-
+    spawn-RNG order).
+
+    With an enabled ``recorder`` (explicit or ambient via
+    :func:`repro.obs.using_recorder`), per-cascade counters
+    (``kernel.mfc.rounds/attempts/activations/flips``) and a
+    ``kernel.mfc.cascade`` timer are recorded; the default
+    :class:`~repro.obs.recorder.NullRecorder` costs one branch per
+    cascade and nothing inside the hot loop.
+    """
+    rec = resolve_recorder(recorder)
+    if not rec.enabled:
+        return _mfc_cascade(
+            compiled, validated, random, alpha, allow_flips, max_rounds
+        )[0]
+    start = _time.perf_counter()
+    result, tried = _mfc_cascade(
+        compiled, validated, random, alpha, allow_flips, max_rounds
+    )
+    _record_cascade(rec, "kernel.mfc", result, tried, _time.perf_counter() - start)
+    return result
+
+
+def _ic_cascade(
     compiled: CompiledGraph,
     validated: Dict[Node, NodeState],
     random: _random.Random,
     propagate_signs: bool,
-) -> DiffusionResult:
-    """Independent Cascade over the CSR arrays (sign-blind probabilities)."""
+) -> Tuple[DiffusionResult, bytearray]:
+    """The bare IC loop (uninstrumented twin of :func:`_mfc_cascade`)."""
     indptr, targets, weights = compiled.hot_rows()
     signs = compiled.signs
     rand = random.random
@@ -217,4 +276,26 @@ def run_ic_compiled(
         fresh.sort()
         frontier = fresh
 
-    return _materialise(compiled, validated, events, log, rounds)
+    return _materialise(compiled, validated, events, log, rounds), tried
+
+
+def run_ic_compiled(
+    compiled: CompiledGraph,
+    validated: Dict[Node, NodeState],
+    random: _random.Random,
+    propagate_signs: bool,
+    recorder: Optional[Recorder] = None,
+) -> DiffusionResult:
+    """Independent Cascade over the CSR arrays (sign-blind probabilities).
+
+    Observability mirrors :func:`run_mfc_compiled`, under the
+    ``kernel.ic.*`` names (IC has no flips, so ``kernel.ic.flips`` stays
+    zero).
+    """
+    rec = resolve_recorder(recorder)
+    if not rec.enabled:
+        return _ic_cascade(compiled, validated, random, propagate_signs)[0]
+    start = _time.perf_counter()
+    result, tried = _ic_cascade(compiled, validated, random, propagate_signs)
+    _record_cascade(rec, "kernel.ic", result, tried, _time.perf_counter() - start)
+    return result

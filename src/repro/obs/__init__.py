@@ -1,0 +1,53 @@
+"""Observability for cascades and the RID pipeline (zero dependencies).
+
+The subsystem separates *what to record* (the instrumented layers call
+``incr`` / ``gauge`` / ``span`` on whatever recorder is active) from
+*where it goes* (the recorder implementation):
+
+* :class:`NullRecorder` — the default; near-zero overhead, nothing is
+  recorded (``benchmarks/bench_obs_overhead.py`` keeps it honest);
+* :class:`MetricsRecorder` — named counters, gauges and
+  monotonic-clock timers with min/mean/max/total aggregation; its
+  :class:`Metrics` snapshots are picklable and merge commutatively, so
+  parallel worker measurements fold into one deterministic report;
+* :class:`TraceRecorder` — structured span events with nested
+  ``span("stage")`` context managers, exportable to JSONL and to the
+  Chrome ``chrome://tracing`` format;
+* :class:`CompositeRecorder` — fan out to several recorders at once.
+
+Instrumented layers: the CSR cascade kernel (rounds, attempts,
+activations, flips), Monte-Carlo estimation, the trial fan-out runtime
+(per-worker metrics merged into the parent), and every stage of the RID
+detection pipeline (prune → components → tree extraction → binarise →
+per-tree DP). See ``docs/observability.md`` for the span-name registry
+and CLI walkthrough.
+"""
+
+from repro.obs.metrics import Metrics, MetricsRecorder, Stat
+from repro.obs.recorder import (
+    NULL,
+    CompositeRecorder,
+    NullRecorder,
+    Recorder,
+    current_recorder,
+    resolve_recorder,
+    using_recorder,
+)
+from repro.obs.report import format_report
+from repro.obs.trace import TraceRecorder, read_jsonl
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "NULL",
+    "CompositeRecorder",
+    "MetricsRecorder",
+    "Metrics",
+    "Stat",
+    "TraceRecorder",
+    "read_jsonl",
+    "format_report",
+    "current_recorder",
+    "resolve_recorder",
+    "using_recorder",
+]

@@ -1,0 +1,184 @@
+"""Aggregating metrics: named counters, gauges, and timers.
+
+The data model is a plain picklable :class:`Metrics` value —
+``counters`` (monotonic sums), ``gauges`` and ``timers`` (both
+min/mean/max/total/count aggregates over observations) — plus a
+:meth:`Metrics.merge` that is **commutative and associative**. That
+algebra is what makes parallel observability deterministic: worker
+chunks each build their own snapshot, and merging them in any
+completion order yields the same totals as a serial run (the
+``test_obs_merge_invariance`` property test pins this).
+
+:class:`MetricsRecorder` is the live sink implementing the
+:class:`~repro.obs.recorder.Recorder` protocol on top of a
+:class:`Metrics` value; timers use the monotonic
+:func:`time.perf_counter` clock.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.obs.recorder import Recorder
+
+
+@dataclass
+class Stat:
+    """Min/mean/max/total aggregate over a stream of observations."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation in."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0.0 before the first one)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merged(self, other: "Stat") -> "Stat":
+        """Commutative combination of two aggregates (new object)."""
+        return Stat(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            min=min(self.min, other.min),
+            max=max(self.max, other.max),
+        )
+
+    def copy(self) -> "Stat":
+        return Stat(count=self.count, total=self.total, min=self.min, max=self.max)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (infinities of the empty aggregate become None)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": None if math.isinf(self.min) else self.min,
+            "max": None if math.isinf(self.max) else self.max,
+            "mean": self.mean,
+        }
+
+
+@dataclass
+class Metrics:
+    """A picklable snapshot of everything a :class:`MetricsRecorder` saw.
+
+    Attributes:
+        counters: name → monotonic sum.
+        gauges: name → :class:`Stat` over ``gauge()`` observations.
+        timers: name → :class:`Stat` over span / ``timing()`` durations
+            (seconds).
+    """
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, Stat] = field(default_factory=dict)
+    timers: Dict[str, Stat] = field(default_factory=dict)
+
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Commutative, associative combination (returns a new object).
+
+        ``a.merge(b)`` equals ``b.merge(a)`` for every pair, so merged
+        worker snapshots are independent of chunk completion order.
+        """
+        out = self.copy()
+        out.merge_in_place(other)
+        return out
+
+    def merge_in_place(self, other: "Metrics") -> None:
+        """Fold ``other`` into this snapshot."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        for name, stat in other.gauges.items():
+            mine = self.gauges.get(name)
+            self.gauges[name] = stat.copy() if mine is None else mine.merged(stat)
+        for name, stat in other.timers.items():
+            mine = self.timers.get(name)
+            self.timers[name] = stat.copy() if mine is None else mine.merged(stat)
+
+    def copy(self) -> "Metrics":
+        return Metrics(
+            counters=dict(self.counters),
+            gauges={name: stat.copy() for name, stat in self.gauges.items()},
+            timers={name: stat.copy() for name, stat in self.timers.items()},
+        )
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing has been recorded."""
+        return not (self.counters or self.gauges or self.timers)
+
+    def to_dict(self) -> dict:
+        """JSON-ready nested-dict form."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": {name: stat.to_dict() for name, stat in self.gauges.items()},
+            "timers": {name: stat.to_dict() for name, stat in self.timers.items()},
+        }
+
+
+class _MetricsSpan:
+    """Times one ``with`` body and folds the duration into a timer."""
+
+    __slots__ = ("_recorder", "_name", "_start")
+
+    def __init__(self, recorder: "MetricsRecorder", name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_MetricsSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._recorder.timing(self._name, time.perf_counter() - self._start)
+        return False
+
+
+class MetricsRecorder(Recorder):
+    """Recorder aggregating everything into a :class:`Metrics` value."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.metrics = Metrics()
+
+    def incr(self, name: str, value: float = 1) -> None:
+        counters = self.metrics.counters
+        counters[name] = counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        stat = self.metrics.gauges.get(name)
+        if stat is None:
+            stat = self.metrics.gauges[name] = Stat()
+        stat.add(value)
+
+    def timing(self, name: str, seconds: float) -> None:
+        stat = self.metrics.timers.get(name)
+        if stat is None:
+            stat = self.metrics.timers[name] = Stat()
+        stat.add(seconds)
+
+    def span(self, name: str, **fields: object) -> _MetricsSpan:
+        return _MetricsSpan(self, name)
+
+    def absorb(self, metrics: Optional[Metrics]) -> None:
+        if metrics is not None:
+            self.metrics.merge_in_place(metrics)
+
+    def snapshot(self) -> Metrics:
+        """An independent copy of the current aggregate state."""
+        return self.metrics.copy()

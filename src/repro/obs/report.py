@@ -1,0 +1,80 @@
+"""Human-readable rendering of a :class:`~repro.obs.metrics.Metrics`.
+
+Standalone column formatter (no :mod:`repro.experiments` import — the
+experiments layer depends on :mod:`repro.obs`, not the other way
+around). ``repro-experiments <artefact> --metrics`` prints this table
+after the run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.obs.metrics import Metrics, Stat
+
+
+def _table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> List[str]:
+    rows = [list(r) for r in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        # First column left-aligned (names), the rest right-aligned.
+        cells = [row[0].ljust(widths[0])]
+        cells += [c.rjust(w) for c, w in zip(row[1:], widths[1:])]
+        lines.append("  ".join(cells).rstrip())
+    return lines
+
+
+def _count(value: float) -> str:
+    return f"{value:.6g}" if value != int(value) else f"{int(value)}"
+
+
+def _stat_row(name: str, stat: Stat, scale: float, unit_digits: int) -> List[str]:
+    return [
+        name,
+        str(stat.count),
+        f"{stat.total * scale:.{unit_digits}f}",
+        f"{stat.min * scale:.{unit_digits}f}" if stat.count else "-",
+        f"{stat.mean * scale:.{unit_digits}f}",
+        f"{stat.max * scale:.{unit_digits}f}" if stat.count else "-",
+    ]
+
+
+def format_report(metrics: Metrics, title: str = "observability report") -> str:
+    """Render counters, gauges and timers as aligned ASCII tables."""
+    lines: List[str] = [title, "=" * len(title)]
+    if metrics.empty:
+        lines.append("(nothing recorded)")
+        return "\n".join(lines)
+    if metrics.counters:
+        lines.append("")
+        lines.append("counters")
+        lines += _table(
+            ["name", "total"],
+            [[name, _count(value)] for name, value in sorted(metrics.counters.items())],
+        )
+    if metrics.gauges:
+        lines.append("")
+        lines.append("gauges")
+        lines += _table(
+            ["name", "obs", "total", "min", "mean", "max"],
+            [
+                _stat_row(name, stat, scale=1.0, unit_digits=3)
+                for name, stat in sorted(metrics.gauges.items())
+            ],
+        )
+    if metrics.timers:
+        lines.append("")
+        lines.append("timers (milliseconds)")
+        lines += _table(
+            ["name", "calls", "total", "min", "mean", "max"],
+            [
+                _stat_row(name, stat, scale=1e3, unit_digits=3)
+                for name, stat in sorted(metrics.timers.items())
+            ],
+        )
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Structured trace recording with Chrome-trace / JSONL export.
+
+:class:`TraceRecorder` captures *span events*: every
+``with recorder.span("stage")`` body becomes one complete event with a
+microsecond begin timestamp (monotonic, relative to the recorder's
+construction), duration, and nesting depth. Counter increments and
+gauge observations become Chrome counter events so they plot as series
+under the spans.
+
+Two export formats:
+
+* :meth:`TraceRecorder.export_jsonl` — one JSON event per line, the
+  library's own round-trippable structured log (reload with
+  :func:`read_jsonl`);
+* :meth:`TraceRecorder.export_chrome` — a ``{"traceEvents": [...]}``
+  JSON document loadable directly in ``chrome://tracing`` (or
+  https://ui.perfetto.dev): open the page, click *Load*, pick the file,
+  and the RID pipeline stages appear as a flame graph.
+
+Event dicts use the Chrome Trace Event Format field names throughout
+(``name``, ``ph``, ``ts``, ``dur``, ``pid``, ``tid``, ``args``), so the
+JSONL lines and the Chrome export carry identical event objects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import Metrics
+from repro.obs.recorder import Recorder
+
+
+def read_jsonl(path: Union[str, Path]) -> List[dict]:
+    """Reload a JSONL trace export as a list of event dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+class _TraceSpan:
+    """One ``with`` body; records a complete ('X') event on exit."""
+
+    __slots__ = ("_recorder", "_name", "_args", "_start", "_depth")
+
+    def __init__(self, recorder: "TraceRecorder", name: str, args: Dict[str, object]):
+        self._recorder = recorder
+        self._name = name
+        self._args = args
+        self._start = 0.0
+        self._depth = 0
+
+    def __enter__(self) -> "_TraceSpan":
+        self._depth = self._recorder._enter_span()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end = time.perf_counter()
+        self._recorder._exit_span(
+            self._name, self._start, end - self._start, self._depth, self._args
+        )
+        return False
+
+
+class TraceRecorder(Recorder):
+    """Recorder producing a Chrome-compatible structured event trace."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        #: perf_counter value all event timestamps are relative to.
+        self.epoch = time.perf_counter()
+        self.events: List[dict] = []
+        self._pid = os.getpid()
+        self._depth = 0
+        #: cumulative counter values, so counter events plot monotonic series.
+        self._counters: Dict[str, float] = {}
+
+    # -- internal helpers ------------------------------------------------
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self.epoch) * 1e6
+
+    def _base(self, name: str, phase: str) -> dict:
+        return {
+            "name": name,
+            "ph": phase,
+            "ts": self._now_us(),
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+        }
+
+    def _enter_span(self) -> int:
+        self._depth += 1
+        return self._depth
+
+    def _exit_span(
+        self, name: str, start: float, seconds: float, depth: int, args: Dict[str, object]
+    ) -> None:
+        self._depth = depth - 1
+        event = {
+            "name": name,
+            "ph": "X",
+            "ts": (start - self.epoch) * 1e6,
+            "dur": seconds * 1e6,
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+            "args": dict(args, depth=depth),
+        }
+        self.events.append(event)
+
+    # -- Recorder protocol ----------------------------------------------
+
+    def incr(self, name: str, value: float = 1) -> None:
+        total = self._counters.get(name, 0.0) + value
+        self._counters[name] = total
+        event = self._base(name, "C")
+        event["args"] = {name: total}
+        self.events.append(event)
+
+    def gauge(self, name: str, value: float) -> None:
+        event = self._base(name, "C")
+        event["args"] = {name: float(value)}
+        self.events.append(event)
+
+    def timing(self, name: str, seconds: float) -> None:
+        # A duration reported after the fact: draw it as a complete event
+        # ending now.
+        now = self._now_us()
+        self.events.append(
+            {
+                "name": name,
+                "ph": "X",
+                "ts": max(0.0, now - seconds * 1e6),
+                "dur": seconds * 1e6,
+                "pid": self._pid,
+                "tid": threading.get_ident(),
+                "args": {},
+            }
+        )
+
+    def span(self, name: str, **fields: object) -> _TraceSpan:
+        return _TraceSpan(self, name, fields)
+
+    def absorb(self, metrics: Optional[Metrics]) -> None:
+        """Fold a worker snapshot in as counter events plus a marker."""
+        if metrics is None or metrics.empty:
+            return
+        for name, value in sorted(metrics.counters.items()):
+            self.incr(name, value)
+        for name, stat in sorted(metrics.timers.items()):
+            if stat.count:
+                self.timing(name, stat.total)
+        event = self._base("obs.absorb", "i")
+        event["s"] = "t"  # instant-event scope: thread
+        event["args"] = {"counters": len(metrics.counters), "timers": len(metrics.timers)}
+        self.events.append(event)
+
+    # -- exports ---------------------------------------------------------
+
+    def export_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write one JSON event per line; reload with :func:`read_jsonl`."""
+        path = Path(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        return path
+
+    def export_chrome(self, path: Union[str, Path]) -> Path:
+        """Write a ``chrome://tracing``-loadable JSON trace document."""
+        path = Path(path)
+        document = {"traceEvents": self.events, "displayTimeUnit": "ms"}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+        return path

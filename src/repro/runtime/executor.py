@@ -27,6 +27,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import Metrics, MetricsRecorder
+from repro.obs.recorder import Recorder, resolve_recorder, using_recorder
 from repro.runtime.cache import CacheCodecError, TrialCache
 from repro.runtime.config import SERIAL, RuntimeConfig
 
@@ -76,14 +78,26 @@ def _run_chunk(
     fn: Callable[[Any, Any], Any],
     payload: Any,
     chunk: List[Tuple[int, Any]],
-) -> List[Tuple[int, Any, float]]:
-    """Worker body: evaluate a chunk of (index, spec) pairs with timings."""
+    observe: bool = False,
+) -> Tuple[List[Tuple[int, Any, float]], Optional[Metrics]]:
+    """Worker body: evaluate a chunk of (index, spec) pairs with timings.
+
+    With ``observe`` set, the chunk runs under a fresh
+    :class:`~repro.obs.metrics.MetricsRecorder` installed as the ambient
+    recorder, and the picklable :class:`~repro.obs.metrics.Metrics`
+    snapshot travels back with the results. Serial and parallel
+    execution share this exact path, so merged counters are
+    bit-identical regardless of worker count (merging is commutative and
+    every trial's recording is deterministic given its derived seed).
+    """
+    recorder = MetricsRecorder() if observe else None
     out = []
-    for index, spec in chunk:
-        start = time.perf_counter()
-        result = fn(payload, spec)
-        out.append((index, result, time.perf_counter() - start))
-    return out
+    with using_recorder(recorder):
+        for index, spec in chunk:
+            start = time.perf_counter()
+            result = fn(payload, spec)
+            out.append((index, result, time.perf_counter() - start))
+    return out, (recorder.metrics if recorder is not None else None)
 
 
 def _picklable(*objects: Any) -> bool:
@@ -105,6 +119,7 @@ def run_trials(
     encode: Optional[Callable[[Any], dict]] = None,
     decode: Optional[Callable[[dict], Any]] = None,
     label: str = "trials",
+    recorder: Optional[Recorder] = None,
 ) -> TrialOutcome:
     """Evaluate ``fn(payload, spec)`` for every spec, possibly in parallel.
 
@@ -121,12 +136,20 @@ def run_trials(
             :class:`CacheCodecError` to decline).
         decode: rebuilds a result from its JSON payload.
         label: name used in the report.
+        recorder: observability sink (defaults to the ambient recorder).
+            Each chunk — worker-side or serial — records into its own
+            :class:`~repro.obs.metrics.MetricsRecorder`; the snapshots
+            are absorbed here in commutative merges, so counters are
+            identical for any ``workers`` value. ``runtime.*`` counters
+            (trials, cache hits, chunks) and a per-label wall timer are
+            recorded on top.
 
     Returns:
         A :class:`TrialOutcome` whose ``results`` are bit-identical to
         ``[fn(payload, s) for s in specs]`` regardless of ``workers``.
     """
     config.validate()
+    rec = resolve_recorder(recorder)
     started = time.perf_counter()
     specs = list(specs)
     results: List[Any] = [None] * len(specs)
@@ -161,19 +184,23 @@ def run_trials(
         elif not _picklable(fn, payload, [spec for _, spec in pending]):
             fallback_reason = "inputs not picklable"
 
+        observe = rec.enabled
         if fallback_reason is None:
             size = config.resolve_chunk_size(len(pending))
             chunks = [pending[i : i + size] for i in range(0, len(pending), size)]
             workers_used = min(config.workers, len(chunks))
             with ProcessPoolExecutor(max_workers=workers_used) as pool:
-                futures = [pool.submit(_run_chunk, fn, payload, c) for c in chunks]
+                futures = [
+                    pool.submit(_run_chunk, fn, payload, c, observe) for c in chunks
+                ]
                 completed = [f.result() for f in futures]
         else:
             chunks = [pending]
-            completed = [_run_chunk(fn, payload, pending)]
+            completed = [_run_chunk(fn, payload, pending, observe)]
 
         writable = cache is not None and key_fn is not None and encode is not None
-        for chunk_result in completed:
+        for chunk_result, chunk_metrics in completed:
+            rec.absorb(chunk_metrics)
             for index, result, seconds in chunk_result:
                 results[index] = result
                 timings[index] = TrialTiming(index=index, seconds=seconds)
@@ -192,4 +219,10 @@ def run_trials(
         wall_seconds=time.perf_counter() - started,
         timings=[t for t in timings if t is not None],
     )
+    if rec.enabled:
+        rec.incr("runtime.trials", len(specs))
+        rec.incr("runtime.computed", len(pending))
+        rec.incr("runtime.cache_hits", cache_hits)
+        rec.incr("runtime.chunks", len(chunks))
+        rec.timing(f"runtime.{label}", report.wall_seconds)
     return TrialOutcome(results=results, report=report)

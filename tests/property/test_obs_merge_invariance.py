@@ -1,0 +1,95 @@
+"""Merged metrics are invariant under serial vs parallel execution.
+
+Every chunk — worker-side or in-process — records into its own
+:class:`~repro.obs.metrics.MetricsRecorder` and the parent absorbs the
+snapshots through commutative merges. Since each trial derives its RNG
+from ``(base_seed, model, trial)`` alone, the *work done* per trial is
+identical for any worker count, so the merged counters and gauges must
+be bit-identical between ``workers=1`` and ``workers=4`` — only measured
+durations may differ.
+"""
+
+import pytest
+
+from repro.diffusion.mfc import MFCModel
+from repro.diffusion.monte_carlo import simulate_many
+from repro.graphs.generators.random_graphs import signed_erdos_renyi
+from repro.obs import MetricsRecorder
+from repro.runtime.config import RuntimeConfig
+from repro.types import NodeState
+
+# Execution-shape counters legitimately depend on the fan-out (a serial
+# run is one chunk; a parallel run is several). Everything else must match.
+SHAPE_COUNTERS = {"runtime.chunks"}
+
+
+def run_workload(workers: int):
+    graph = signed_erdos_renyi(
+        80, 0.06, positive_probability=0.75, weight_range=(0.05, 0.5), rng=13
+    )
+    seeds = {0: NodeState.POSITIVE, 3: NodeState.NEGATIVE, 11: NodeState.POSITIVE}
+    recorder = MetricsRecorder()
+    runtime = RuntimeConfig(workers=workers)
+    results = simulate_many(
+        MFCModel(alpha=3.0),
+        graph,
+        seeds,
+        trials=12,
+        base_seed=21,
+        runtime=runtime,
+        recorder=recorder,
+    )
+    return results, recorder.metrics
+
+
+@pytest.fixture(scope="module")
+def serial_and_parallel():
+    serial = run_workload(workers=1)
+    parallel = run_workload(workers=4)
+    return serial, parallel
+
+
+def test_results_bit_identical(serial_and_parallel):
+    (serial_results, _), (parallel_results, _) = serial_and_parallel
+    assert len(serial_results) == len(parallel_results) == 12
+    for a, b in zip(serial_results, parallel_results):
+        assert a.events == b.events
+        assert a.final_states == b.final_states
+        assert a.rounds == b.rounds
+
+
+def test_counters_bit_identical(serial_and_parallel):
+    (_, serial), (_, parallel) = serial_and_parallel
+    scrub = lambda m: {
+        k: v for k, v in m.counters.items() if k not in SHAPE_COUNTERS
+    }
+    assert scrub(serial) == scrub(parallel)
+    # and the workload actually exercised the kernel + runtime layers
+    assert serial.counters["kernel.mfc.cascades"] == 12
+    assert serial.counters["runtime.trials"] == 12
+
+
+def test_gauges_bit_identical(serial_and_parallel):
+    (_, serial), (_, parallel) = serial_and_parallel
+    assert set(serial.gauges) == set(parallel.gauges)
+    for name, stat in serial.gauges.items():
+        other = parallel.gauges[name]
+        assert (stat.count, stat.total, stat.min, stat.max) == (
+            other.count,
+            other.total,
+            other.min,
+            other.max,
+        ), name
+
+
+def test_timer_call_counts_identical(serial_and_parallel):
+    (_, serial), (_, parallel) = serial_and_parallel
+    assert {name: stat.count for name, stat in serial.timers.items()} == {
+        name: stat.count for name, stat in parallel.timers.items()
+    }
+
+
+def test_parallel_run_really_fanned_out(serial_and_parallel):
+    (_, serial), (_, parallel) = serial_and_parallel
+    assert serial.counters["runtime.chunks"] == 1
+    assert parallel.counters["runtime.chunks"] > 1

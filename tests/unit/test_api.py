@@ -1,0 +1,248 @@
+"""Tests for the stable facade (:mod:`repro.api`) and compatibility shims."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.core.rid import RID, RIDConfig
+from repro.core.baselines import resolve_budget_kwargs
+from repro.diffusion.mfc import MFCModel
+from repro.errors import ConfigError
+from repro.experiments.config import WorkloadConfig
+from repro.experiments.runner import AggregatedEvaluation, DetectorEvaluation
+from repro.experiments.workload import build_workload
+from repro.extensions.certainty_cover import CertaintyCoverDetector
+from repro.extensions.effectors import KEffectorsDetector
+from repro.extensions.simulation_matching import SimulationMatchingDetector
+from repro.graphs.generators.random_graphs import signed_erdos_renyi
+from repro.obs import MetricsRecorder
+from repro.types import NodeState
+
+
+@pytest.fixture(scope="module")
+def network():
+    return signed_erdos_renyi(
+        60, 0.08, positive_probability=0.8, weight_range=(0.1, 0.6), rng=5
+    )
+
+
+@pytest.fixture(scope="module")
+def cascade(network):
+    seeds = {0: NodeState.POSITIVE, 7: NodeState.NEGATIVE}
+    return MFCModel(alpha=3.0).run(network, seeds, rng=11)
+
+
+class TestFacadeExports:
+    def test_import_repro_detect_works(self):
+        assert repro.detect is api.detect
+        assert repro.simulate is api.simulate
+        assert repro.evaluate is api.evaluate
+
+    def test_blessed_types_reexported(self):
+        for name in (
+            "RIDConfig",
+            "DetectionResult",
+            "RuntimeConfig",
+            "TrialReport",
+            "MetricsRecorder",
+            "TraceRecorder",
+            "format_report",
+            "using_recorder",
+        ):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__
+
+
+class TestSimulate:
+    def test_single_cascade_matches_model_run(self, network, cascade):
+        seeds = {0: NodeState.POSITIVE, 7: NodeState.NEGATIVE}
+        result = repro.simulate(network, seeds, model="mfc", rng=11)
+        assert result.events == cascade.events
+        assert result.final_states == cascade.final_states
+
+    def test_model_instance_accepted(self, network):
+        seeds = {0: NodeState.POSITIVE}
+        result = repro.simulate(network, seeds, model=MFCModel(alpha=2.0), rng=3)
+        assert 0 in result.infected_nodes()
+
+    def test_default_model_is_mfc(self, network):
+        seeds = {0: NodeState.POSITIVE}
+        assert (
+            repro.simulate(network, seeds, rng=3).events
+            == repro.simulate(network, seeds, model="mfc", rng=3).events
+        )
+
+    def test_unknown_model_name(self, network):
+        with pytest.raises(ConfigError, match="unknown diffusion model"):
+            repro.simulate(network, {0: NodeState.POSITIVE}, model="sis")
+
+    def test_multi_trial_returns_list(self, network):
+        outs = repro.simulate(network, {0: NodeState.POSITIVE}, trials=3, rng=9)
+        assert len(outs) == 3
+        # trials use derived seeds -> independent cascades, deterministic
+        again = repro.simulate(network, {0: NodeState.POSITIVE}, trials=3, rng=9)
+        assert [o.events for o in outs] == [a.events for a in again]
+
+    def test_multi_trial_needs_integer_seed(self, network):
+        import random
+
+        with pytest.raises(ConfigError, match="integer base seed"):
+            repro.simulate(
+                network, {0: NodeState.POSITIVE}, trials=2, rng=random.Random(0)
+            )
+
+
+class TestDetect:
+    def test_diffusion_result_snapshot(self, network, cascade):
+        result = repro.detect(network, cascade)
+        assert result.method.startswith("rid")
+        assert result.initiators <= set(cascade.infected_nodes())
+
+    def test_none_snapshot_means_graph_is_infected(self, network, cascade):
+        infected = cascade.infected_network(network)
+        direct = repro.detect(infected)
+        via_snapshot = repro.detect(network, cascade)
+        assert direct.initiators == via_snapshot.initiators
+
+    def test_mapping_snapshot(self, network, cascade):
+        states = {node: int(state) for node, state in cascade.final_states.items()}
+        result = repro.detect(network, states)
+        assert result.initiators == repro.detect(network, cascade).initiators
+
+    def test_mapping_snapshot_unknown_node(self, network):
+        with pytest.raises(ConfigError, match="not in the network"):
+            repro.detect(network, {"nope": 1})
+
+    def test_custom_config(self, network, cascade):
+        result = repro.detect(network, cascade, config=RIDConfig(beta=5.0))
+        assert result.initiators  # heavy penalty -> fewer, but never zero
+
+    def test_custom_detector(self, network, cascade):
+        result = repro.detect(
+            network, cascade, detector=CertaintyCoverDetector(alpha=3.0)
+        )
+        assert result.method == "certainty-cover"
+
+    def test_config_and_detector_conflict(self, network, cascade):
+        with pytest.raises(ConfigError, match="not both"):
+            repro.detect(
+                network,
+                cascade,
+                config=RIDConfig(),
+                detector=CertaintyCoverDetector(),
+            )
+
+    def test_budget_path(self, network, cascade):
+        # the knapsack needs budget >= number of cascade trees (4 here)
+        result = repro.detect(network, cascade, budget=5)
+        assert len(result.initiators) == 5
+
+    def test_recorder_sees_pipeline_stages(self, network, cascade):
+        rec = MetricsRecorder()
+        repro.detect(network, cascade, recorder=rec)
+        counters = rec.metrics.counters
+        assert counters["rid.trees"] >= 1
+        assert counters["rid.components"] >= 1
+        assert "rid.detect" in rec.metrics.timers
+        assert "rid.tree_dp" in rec.metrics.timers
+
+
+class TestEvaluate:
+    def test_workload_form(self):
+        config = WorkloadConfig(dataset="epinions", scale=0.004, seed=3)
+        workload = build_workload(config, trial=0)
+        evaluation = repro.evaluate(RID(RIDConfig()), workload)
+        assert isinstance(evaluation, DetectorEvaluation)
+        assert 0.0 <= evaluation.identity.f1 <= 1.0
+
+    def test_config_form_aggregates(self):
+        config = WorkloadConfig(dataset="epinions", scale=0.004, seed=3)
+        aggregated = repro.evaluate(
+            lambda: RID(RIDConfig()), config, trials=2
+        )
+        assert isinstance(aggregated, AggregatedEvaluation)
+        assert aggregated.trials == 2
+
+    def test_rejects_other_workloads(self):
+        with pytest.raises(ConfigError, match="Workload or WorkloadConfig"):
+            repro.evaluate(RID(RIDConfig()), workload="fig4")
+
+
+class TestRIDConfigValidation:
+    def test_invalid_config_raises_at_construction(self):
+        with pytest.raises(ConfigError):
+            RID(RIDConfig(alpha=0.5))
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            ({"alpha": 0.5}, "alpha must be >= 1, got 0.5"),
+            ({"beta": -1.0}, "beta must be >= 0, got -1.0"),
+            ({"score": "weird"}, "score must be 'log' or 'raw', got 'weird'"),
+            (
+                {"k_strategy": "random"},
+                "k_strategy must be 'greedy' or 'exhaustive', got 'random'",
+            ),
+            ({"max_k_per_tree": 0}, "max_k_per_tree must be >= 1 or None, got 0"),
+        ],
+    )
+    def test_error_messages_name_field_and_value(self, kwargs, message):
+        with pytest.raises(ConfigError, match="^" + message.replace("(", "\\(")):
+            RIDConfig(**kwargs).validate()
+
+
+class TestBudgetKwargUnification:
+    def test_budget_passes_clean(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_budget_kwargs(4) == 4
+
+    @pytest.mark.parametrize("alias", ["k", "max_k"])
+    def test_legacy_aliases_warn_but_work(self, alias):
+        with pytest.warns(DeprecationWarning, match=alias + "="):
+            assert resolve_budget_kwargs(None, **{alias: 3}) == 3
+
+    def test_conflicting_budgets_raise(self):
+        with pytest.raises(ConfigError, match="conflicting initiator budgets"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                resolve_budget_kwargs(2, k=3)
+
+    def test_missing_budget_raises(self):
+        with pytest.raises(ConfigError, match="budget="):
+            resolve_budget_kwargs(None)
+
+    def test_rid_detect_with_budget_accepts_legacy_k(self, network, cascade):
+        infected = cascade.infected_network(network)
+        detector = RID(RIDConfig())
+        with pytest.warns(DeprecationWarning):
+            legacy = detector.detect_with_budget(infected, k=5)
+        modern = detector.detect_with_budget(infected, 5)
+        assert legacy.initiators == modern.initiators
+
+    def test_effectors_legacy_kwarg(self):
+        with pytest.warns(DeprecationWarning, match="k_per_component"):
+            detector = KEffectorsDetector(k_per_component=2)
+        assert detector.budget == 2
+        assert detector.k_per_component == 2  # property alias still reads
+
+    def test_simulation_matching_legacy_kwarg(self):
+        with pytest.warns(DeprecationWarning, match="max_initiators_per_component"):
+            detector = SimulationMatchingDetector(max_initiators_per_component=2)
+        assert detector.budget == 2
+        assert detector.max_initiators == 2
+
+    def test_certainty_cover_legacy_kwarg(self):
+        with pytest.warns(DeprecationWarning, match="max_initiators"):
+            detector = CertaintyCoverDetector(max_initiators=2)
+        assert detector.budget == 2
+        assert detector.max_initiators == 2
+
+    def test_new_spellings_are_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            KEffectorsDetector(budget=2)
+            SimulationMatchingDetector(budget=2)
+            CertaintyCoverDetector(budget=2)

@@ -68,7 +68,7 @@ class TestDetector:
     def test_max_initiators_caps_cover(self):
         g = certain_chain()
         g.set_weight("a", "b", 0.5)
-        result = CertaintyCoverDetector(alpha=3.0, max_initiators=1).detect(g)
+        result = CertaintyCoverDetector(alpha=3.0, budget=1).detect(g)
         assert len(result.initiators) == 1
 
     def test_greedy_prefers_bigger_closure(self):
@@ -78,7 +78,7 @@ class TestDetector:
         g.add_edge("small", "y1", 1, 1.0)
         for node in g.nodes():
             g.set_state(node, NodeState.POSITIVE)
-        result = CertaintyCoverDetector(alpha=1.0, max_initiators=1).detect(g)
+        result = CertaintyCoverDetector(alpha=1.0, budget=1).detect(g)
         assert result.initiators == {"big"}
 
     def test_unknown_state_nodes_do_not_conduct_certainty(self):

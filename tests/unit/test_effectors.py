@@ -18,7 +18,7 @@ def infected(graph: SignedDiGraph) -> SignedDiGraph:
 class TestParameters:
     def test_bad_k_rejected(self):
         with pytest.raises(InvalidModelParameterError):
-            KEffectorsDetector(k_per_component=0)
+            KEffectorsDetector(budget=0)
 
     def test_bad_trials_rejected(self):
         with pytest.raises(InvalidModelParameterError):
@@ -56,13 +56,13 @@ class TestDetection:
 
     def test_k_budget_respected(self):
         g = infected(path_graph(6, weight=0.5))
-        result = KEffectorsDetector(k_per_component=2, trials=5, seed=1).detect(g)
+        result = KEffectorsDetector(budget=2, trials=5, seed=1).detect(g)
         assert 1 <= len(result.initiators) <= 2
 
     def test_candidate_limit_bounds_work(self):
         g = infected(path_graph(10, weight=0.5))
         result = KEffectorsDetector(
-            k_per_component=1, trials=3, candidate_limit=3, seed=1
+            budget=1, trials=3, candidate_limit=3, seed=1
         ).detect(g)
         assert len(result.initiators) == 1
 

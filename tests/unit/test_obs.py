@@ -1,0 +1,243 @@
+"""Unit tests for the observability layer (:mod:`repro.obs`)."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    NULL,
+    CompositeRecorder,
+    Metrics,
+    MetricsRecorder,
+    NullRecorder,
+    Recorder,
+    Stat,
+    TraceRecorder,
+    current_recorder,
+    format_report,
+    read_jsonl,
+    resolve_recorder,
+    using_recorder,
+)
+
+
+class TestNullRecorder:
+    def test_disabled(self):
+        assert NullRecorder().enabled is False
+        assert NULL.enabled is False
+
+    def test_all_calls_are_noops(self):
+        rec = NullRecorder()
+        rec.incr("a")
+        rec.incr("a", 5)
+        rec.gauge("g", 1.0)
+        rec.timing("t", 0.5)
+        rec.absorb(Metrics())
+        with rec.span("outer") as outer:
+            with rec.span("inner", depth=2) as inner:
+                pass
+        # Null spans are a shared singleton — no allocation per span.
+        assert outer is inner
+
+    def test_is_the_default_ambient(self):
+        assert current_recorder() is NULL
+        assert resolve_recorder(None) is NULL
+
+
+class TestAmbientRecorder:
+    def test_using_recorder_installs_and_restores(self):
+        rec = MetricsRecorder()
+        assert current_recorder() is NULL
+        with using_recorder(rec):
+            assert current_recorder() is rec
+            assert resolve_recorder(None) is rec
+        assert current_recorder() is NULL
+
+    def test_explicit_wins_over_ambient(self):
+        ambient = MetricsRecorder()
+        explicit = MetricsRecorder()
+        with using_recorder(ambient):
+            assert resolve_recorder(explicit) is explicit
+
+    def test_nesting_restores_outer(self):
+        outer, inner = MetricsRecorder(), MetricsRecorder()
+        with using_recorder(outer):
+            with using_recorder(inner):
+                assert current_recorder() is inner
+            assert current_recorder() is outer
+
+
+class TestStat:
+    def test_add_and_mean(self):
+        s = Stat()
+        for value in (1.0, 2.0, 6.0):
+            s.add(value)
+        assert s.count == 3
+        assert s.total == 9.0
+        assert s.min == 1.0
+        assert s.max == 6.0
+        assert s.mean == 3.0
+
+    def test_empty_stat_mean_and_dict(self):
+        s = Stat()
+        assert s.mean == 0.0
+        d = s.to_dict()
+        assert d["min"] is None and d["max"] is None
+
+    def test_merged_matches_combined_stream(self):
+        a, b, c = Stat(), Stat(), Stat()
+        for value in (3.0, 1.0):
+            a.add(value)
+            c.add(value)
+        for value in (7.0, 2.0):
+            b.add(value)
+            c.add(value)
+        m = a.merged(b)
+        assert (m.count, m.total, m.min, m.max) == (c.count, c.total, c.min, c.max)
+        # merged() does not mutate its operands
+        assert a.count == 2 and b.count == 2
+
+
+class TestMetricsRecorder:
+    def test_counters_gauges_timers(self):
+        rec = MetricsRecorder()
+        assert rec.enabled is True
+        rec.incr("hits")
+        rec.incr("hits", 4)
+        rec.gauge("size", 10.0)
+        rec.gauge("size", 20.0)
+        rec.timing("step", 0.5)
+        m = rec.metrics
+        assert m.counters["hits"] == 5
+        assert m.gauges["size"].mean == 15.0
+        assert m.timers["step"].total == 0.5
+
+    def test_span_records_timer(self):
+        rec = MetricsRecorder()
+        with rec.span("work"):
+            pass
+        assert rec.metrics.timers["work"].count == 1
+        assert rec.metrics.timers["work"].total >= 0.0
+
+    def test_absorb_merges_counters(self):
+        worker = MetricsRecorder()
+        worker.incr("trials", 3)
+        worker.timing("chunk", 0.1)
+        parent = MetricsRecorder()
+        parent.incr("trials", 2)
+        parent.absorb(worker.snapshot())
+        assert parent.metrics.counters["trials"] == 5
+        assert parent.metrics.timers["chunk"].count == 1
+
+    def test_snapshot_is_a_copy(self):
+        rec = MetricsRecorder()
+        rec.incr("n")
+        snap = rec.snapshot()
+        rec.incr("n")
+        assert snap.counters["n"] == 1
+        assert rec.metrics.counters["n"] == 2
+
+    def test_merge_is_commutative(self):
+        a, b = Metrics(), Metrics()
+        a.counters["x"] = 2
+        a.timers["t"] = Stat(count=1, total=1.0, min=1.0, max=1.0)
+        b.counters["x"] = 3
+        b.counters["y"] = 1
+        b.timers["t"] = Stat(count=2, total=4.0, min=1.5, max=2.5)
+        ab, ba = a.merge(b), b.merge(a)
+        assert ab.to_dict() == ba.to_dict()
+
+
+class TestTraceRecorder:
+    def make_trace(self):
+        rec = TraceRecorder()
+        with rec.span("outer", stage="demo"):
+            with rec.span("inner"):
+                rec.incr("events", 2)
+        rec.timing("tail", 0.001)
+        return rec
+
+    def test_span_nesting_depth(self):
+        rec = self.make_trace()
+        spans = {e["name"]: e for e in rec.events if e["ph"] == "X"}
+        assert spans["outer"]["args"]["depth"] == 1
+        assert spans["inner"]["args"]["depth"] == 2
+        # inner is contained within outer on the timeline
+        assert spans["outer"]["ts"] <= spans["inner"]["ts"]
+        assert (
+            spans["inner"]["ts"] + spans["inner"]["dur"]
+            <= spans["outer"]["ts"] + spans["outer"]["dur"]
+        )
+
+    def test_span_fields_land_in_args(self):
+        rec = self.make_trace()
+        outer = next(e for e in rec.events if e.get("name") == "outer")
+        assert outer["args"]["stage"] == "demo"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        rec = self.make_trace()
+        path = tmp_path / "trace.jsonl"
+        rec.export_jsonl(path)
+        events = read_jsonl(path)
+        assert events == rec.events
+        # one JSON object per line
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(rec.events)
+        for line in lines:
+            json.loads(line)
+
+    def test_chrome_export_loads(self, tmp_path):
+        rec = self.make_trace()
+        path = tmp_path / "trace.json"
+        rec.export_chrome(path)
+        data = json.loads(path.read_text())
+        assert data["traceEvents"] == rec.events
+        phases = {e["ph"] for e in data["traceEvents"]}
+        assert "X" in phases  # complete (span) events
+        assert "C" in phases  # counter events
+        for event in data["traceEvents"]:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+
+
+class TestCompositeRecorder:
+    def test_fans_out_to_all_children(self):
+        a, b = MetricsRecorder(), MetricsRecorder()
+        rec = CompositeRecorder(a, b)
+        assert rec.enabled is True
+        rec.incr("n", 2)
+        with rec.span("s"):
+            pass
+        assert a.metrics.counters["n"] == 2
+        assert b.metrics.counters["n"] == 2
+        assert a.metrics.timers["s"].count == 1
+        assert b.metrics.timers["s"].count == 1
+
+    def test_disabled_children_are_dropped(self):
+        only = MetricsRecorder()
+        rec = CompositeRecorder(NullRecorder(), only)
+        rec.incr("n")
+        assert only.metrics.counters["n"] == 1
+
+    def test_all_null_composite_is_disabled(self):
+        assert CompositeRecorder(NullRecorder(), NULL).enabled is False
+
+
+class TestFormatReport:
+    def test_report_contains_all_sections(self):
+        rec = MetricsRecorder()
+        rec.incr("kernel.mfc.rounds", 12)
+        rec.gauge("rid.tree_nodes", 40.0)
+        rec.timing("rid.tree_dp", 0.25)
+        text = format_report(rec.metrics)
+        assert "counters" in text
+        assert "gauges" in text
+        assert "timers" in text
+        assert "kernel.mfc.rounds" in text
+        assert "rid.tree_nodes" in text
+        assert "rid.tree_dp" in text
+        assert "250.000" in text  # timers render in milliseconds
+
+    def test_empty_metrics(self):
+        text = format_report(Metrics())
+        assert "(nothing recorded)" in text

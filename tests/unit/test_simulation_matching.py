@@ -22,7 +22,7 @@ class TestParameters:
 
     def test_bad_budget_rejected(self):
         with pytest.raises(InvalidModelParameterError):
-            SimulationMatchingDetector(max_initiators_per_component=0)
+            SimulationMatchingDetector(budget=0)
 
 
 class TestDetection:
@@ -53,7 +53,7 @@ class TestDetection:
     def test_budget_respected(self):
         g = infected(path_graph(6, weight=0.6))
         result = SimulationMatchingDetector(
-            trials=4, max_initiators_per_component=2, seed=1
+            trials=4, budget=2, seed=1
         ).detect(g)
         assert 1 <= len(result.initiators) <= 2
 
