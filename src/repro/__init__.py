@@ -61,6 +61,7 @@ from repro.obs import (
     format_report,
     using_recorder,
 )
+from repro.pipeline import ArtifactCache, DetectionEngine
 from repro.runtime import RuntimeConfig, TrialReport
 from repro.types import NodeState, Sign
 from repro.weights import assign_jaccard_weights
@@ -96,6 +97,8 @@ __all__ = [
     "plant_random_initiators",
     "RID",
     "RIDConfig",
+    "DetectionEngine",
+    "ArtifactCache",
     "Detector",
     "DetectionResult",
     "RIDTreeDetector",

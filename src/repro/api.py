@@ -29,6 +29,7 @@ detector ``k=``/``max_k=`` budget spellings).
 
 from __future__ import annotations
 
+import inspect
 from typing import Dict, List, Mapping, Optional, Union
 
 from repro.core.baselines import DetectionResult, Detector
@@ -106,6 +107,20 @@ def infected_snapshot(graph: SignedDiGraph, snapshot: Snapshot) -> SignedDiGraph
     return sub
 
 
+def _call_detector(method, *args, runtime, recorder):
+    """Invoke a detector entry point, forwarding ``runtime=`` only when
+    the detector's signature accepts it (third-party/baseline detectors
+    predate the keyword)."""
+    if runtime is not None:
+        try:
+            accepts = "runtime" in inspect.signature(method).parameters
+        except (TypeError, ValueError):
+            accepts = False
+        if accepts:
+            return method(*args, runtime=runtime, recorder=recorder)
+    return method(*args, recorder=recorder)
+
+
 def detect(
     graph: SignedDiGraph,
     snapshot: Snapshot = None,
@@ -113,6 +128,7 @@ def detect(
     config: Optional[RIDConfig] = None,
     detector: Optional[Detector] = None,
     budget: Optional[int] = None,
+    runtime: Optional[RuntimeConfig] = None,
     recorder: Optional[Recorder] = None,
 ) -> DetectionResult:
     """Detect the rumor initiators behind an infected snapshot.
@@ -127,6 +143,10 @@ def detect(
             the :class:`~repro.core.baselines.Detector` protocol).
         budget: when given, detect exactly this many initiators via
             ``detect_with_budget`` (RID's exact knapsack).
+        runtime: execution configuration for detectors that support it
+            (RID fans per-component/per-tree work units over the process
+            pool and persists stage artifacts under ``cache_dir``);
+            silently ignored for detectors that don't take ``runtime=``.
         recorder: observability sink, installed as the ambient recorder
             for the whole call.
 
@@ -142,8 +162,13 @@ def detect(
     with using_recorder(rec):
         infected = infected_snapshot(graph, snapshot)
         if budget is not None:
-            return detector.detect_with_budget(infected, budget, recorder=rec)
-        return detector.detect(infected, recorder=rec)
+            return _call_detector(
+                detector.detect_with_budget, infected, budget,
+                runtime=runtime, recorder=rec,
+            )
+        return _call_detector(
+            detector.detect, infected, runtime=runtime, recorder=rec
+        )
 
 
 def simulate(

@@ -12,6 +12,21 @@ search stops at the first k whose penalised objective fails to improve
 (``k_strategy='greedy'``); ``k_strategy='exhaustive'`` scans every k up
 to the tree size (the ablation in ``benchmarks/test_ablation_k_search``
 quantifies the gap).
+
+Execution lives in the staged :class:`~repro.pipeline.engine.DetectionEngine`
+(see ``docs/architecture.md``): every infected component and cascade
+tree is an independent work unit, fanned out over the process-pool
+runtime when a ``RuntimeConfig(workers > 1)`` is passed and cached
+content-addressed across calls. :class:`RID` is the detector-protocol
+wrapper — each instance owns one engine (and therefore one artifact
+cache), so repeated detections on the same instance (budget sweeps,
+robustness re-runs) skip work already done. The pre-refactor sequential
+implementation is preserved verbatim in :mod:`repro.core.rid_reference`
+and pinned bit-identical by the pipeline-identity gate.
+
+``binarize_cascade_tree`` and ``KIsomitBTSolver`` are re-exported here
+and looked up dynamically by the pipeline stages — monkeypatching them
+on this module (as the DP stub tests do) affects every entry point.
 """
 
 from __future__ import annotations
@@ -20,12 +35,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.baselines import DetectionResult, Detector, resolve_budget_kwargs
-from repro.core.binarize import binarize_cascade_tree
-from repro.core.cascade_forest import extract_cascade_forest
-from repro.core.tree_dp import KIsomitBTSolver, TreeDPResult
+from repro.core.binarize import binarize_cascade_tree  # noqa: F401  (pipeline seam)
+from repro.core.tree_dp import KIsomitBTSolver, TreeDPResult  # noqa: F401  (pipeline seam)
 from repro.errors import ConfigError
 from repro.graphs.signed_digraph import SignedDiGraph
 from repro.obs.recorder import Recorder, resolve_recorder
+from repro.runtime.config import RuntimeConfig
 from repro.types import Node, NodeState
 
 
@@ -91,6 +106,16 @@ class TreeSelection:
 class RID(Detector):
     """Rumor Initiator Detector over infected signed networks.
 
+    Args:
+        config: pipeline hyper-parameters (validated eagerly).
+        engine: a :class:`~repro.pipeline.engine.DetectionEngine` to run
+            on; a private engine (with a private artifact cache) is
+            created by default. Pass a shared engine to pool cached
+            stage artifacts across detectors.
+        runtime: default :class:`~repro.runtime.config.RuntimeConfig`
+            for per-component/per-tree fan-out and the on-disk artifact
+            store; individual ``detect`` calls may override it.
+
     Example:
         >>> detector = RID(RIDConfig(alpha=3.0, beta=0.1))
         >>> result = detector.detect(infected_network)   # doctest: +SKIP
@@ -99,9 +124,23 @@ class RID(Detector):
 
     name = "rid"
 
-    def __init__(self, config: Optional[RIDConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[RIDConfig] = None,
+        *,
+        engine: Optional["object"] = None,
+        runtime: Optional[RuntimeConfig] = None,
+    ) -> None:
         self.config = config or RIDConfig()
         self.config.validate()
+        if engine is None:
+            # Imported lazily: repro.pipeline depends on RIDConfig above.
+            from repro.pipeline.engine import DetectionEngine
+
+            engine = DetectionEngine(runtime=runtime)
+        elif runtime is not None:
+            engine.runtime = runtime
+        self.engine = engine
         #: Per-tree diagnostics of the last :meth:`detect` call.
         self.last_selections: List[TreeSelection] = []
 
@@ -111,81 +150,43 @@ class RID(Detector):
         self, tree: SignedDiGraph, recorder: Optional[Recorder] = None
     ) -> TreeSelection:
         """Run the β-penalised k search on one cascade tree."""
-        rec = resolve_recorder(recorder)
-        with rec.span("rid.binarize"):
-            binary = binarize_cascade_tree(
-                tree,
-                alpha=self.config.alpha,
-                inconsistent_value=self.config.inconsistent_value,
-            )
-        solver = KIsomitBTSolver(binary)
-        max_k = binary.num_real
-        if self.config.max_k_per_tree is not None:
-            max_k = min(max_k, self.config.max_k_per_tree)
+        from repro.pipeline.stages import greedy_tree_selection
 
-        best: Optional[TreeDPResult] = None
-        best_objective = float("-inf")
-        scanned = 0
-        with rec.span("rid.tree_dp", tree_nodes=binary.num_real):
-            for k in range(1, max_k + 1):
-                scanned += 1
-                result = solver.solve(k)
-                objective = result.score - (k - 1) * self.config.beta
-                if objective > best_objective:
-                    best, best_objective = result, objective
-                elif self.config.k_strategy == "greedy":
-                    # Paper heuristic: stop at the first k that fails to
-                    # improve the penalised objective.
-                    break
-        if rec.enabled:
-            rec.gauge("rid.tree_nodes", binary.num_real)
-            rec.incr("rid.k_iterations", scanned)
-        assert best is not None  # max_k >= 1 guarantees one iteration
-        return TreeSelection(
-            tree_size=binary.num_real,
-            k=best.k,
-            score=best.score,
-            penalized_objective=best_objective,
-            initiators=best.initiators,
-            scanned_k=scanned,
-        )
+        return greedy_tree_selection(self.config, tree, resolve_recorder(recorder))
 
     def detect(
-        self, infected: SignedDiGraph, recorder: Optional[Recorder] = None
+        self,
+        infected: SignedDiGraph,
+        recorder: Optional[Recorder] = None,
+        *,
+        runtime: Optional[RuntimeConfig] = None,
     ) -> DetectionResult:
         """Full RID detection on an infected diffusion network.
 
         Stage spans recorded on the active recorder: ``rid.prune`` →
-        ``rid.components`` → ``rid.extract_trees`` → per-tree
-        ``rid.binarize`` → ``rid.tree_dp``, wrapped in one
-        ``rid.detect`` span (see ``docs/observability.md`` for the
-        span-to-paper-section mapping).
+        ``rid.components`` → per-component ``rid.extract_trees`` →
+        per-tree ``rid.binarize`` → ``rid.tree_dp``, wrapped in one
+        ``rid.detect`` span (``docs/architecture.md`` maps spans onto
+        pipeline stages; ``docs/observability.md`` onto paper sections).
+
+        Args:
+            infected: the infected diffusion network ``G_I``.
+            recorder: observability sink (ambient recorder by default).
+            runtime: fan-out/caching override for this call
+                (``workers > 1`` parallelises across components and
+                trees; results are bit-identical to serial runs).
         """
         rec = resolve_recorder(recorder)
         with rec.span("rid.detect", nodes=infected.number_of_nodes()):
-            trees = extract_cascade_forest(
+            outcome = self.engine.detect(
+                self.config,
                 infected,
-                score=self.config.score,
-                prune_inconsistent=self.config.prune_inconsistent,
+                label=f"{self.name}(beta={self.config.beta})",
                 recorder=rec,
+                runtime=runtime,
             )
-            initiators: Dict[Node, NodeState] = {}
-            total_objective = 0.0
-            self.last_selections = []
-            for tree in trees:
-                selection = self.select_initiators_for_tree(tree, recorder=rec)
-                self.last_selections.append(selection)
-                initiators.update(selection.initiators)
-                total_objective += selection.penalized_objective
-            if rec.enabled:
-                rec.incr("rid.detected_initiators", len(initiators))
-        return DetectionResult(
-            method=f"{self.name}(beta={self.config.beta})",
-            initiators=set(initiators),
-            states=initiators,
-            trees=trees,
-            objective=total_objective,
-        )
+        self.last_selections = outcome.selections
+        return outcome.result
 
     def detect_with_budget(
         self,
@@ -195,6 +196,7 @@ class RID(Detector):
         k: Optional[int] = None,
         max_k: Optional[int] = None,
         recorder: Optional[Recorder] = None,
+        runtime: Optional[RuntimeConfig] = None,
     ) -> DetectionResult:
         """k-ISOMIT: detect exactly ``budget`` initiators (known k).
 
@@ -210,9 +212,12 @@ class RID(Detector):
             budget: the exact number of initiators to report. Must be at
                 least the number of extracted trees (every tree needs
                 its root explained) and at most the infected-node count.
+                A snapshot with zero infected nodes accepts exactly
+                ``budget=0`` and returns an empty result.
             k: deprecated spelling of ``budget`` (warns).
             max_k: deprecated spelling of ``budget`` (warns).
             recorder: observability sink (ambient recorder by default).
+            runtime: fan-out/caching override for this call.
 
         Raises:
             ConfigError: for budgets outside the feasible range, or
@@ -223,102 +228,13 @@ class RID(Detector):
         )
         rec = resolve_recorder(recorder)
         with rec.span("rid.detect_with_budget", budget=budget):
-            return self._detect_with_budget(infected, budget, rec)
-
-    def _detect_with_budget(
-        self, infected: SignedDiGraph, budget: int, rec: Recorder
-    ) -> DetectionResult:
-        trees = extract_cascade_forest(
-            infected,
-            score=self.config.score,
-            prune_inconsistent=self.config.prune_inconsistent,
-            recorder=rec,
-        )
-        if budget < len(trees) or budget > infected.number_of_nodes():
-            raise ConfigError(
-                f"budget must be in [{len(trees)}, {infected.number_of_nodes()}] "
-                f"({len(trees)} cascade trees were extracted), got {budget}"
+            outcome = self.engine.detect_with_budget(
+                self.config,
+                infected,
+                budget,
+                label=f"{self.name}(k={budget})",
+                recorder=rec,
+                runtime=runtime,
             )
-        # Per-tree OPT curves: scores[t][k] for k in 1..cap_t.
-        solvers = []
-        curves: List[List[float]] = []
-        results_by_tree: List[List[TreeDPResult]] = []
-        tree_sizes: List[int] = []
-        for tree in trees:
-            with rec.span("rid.binarize"):
-                binary = binarize_cascade_tree(
-                    tree,
-                    alpha=self.config.alpha,
-                    inconsistent_value=self.config.inconsistent_value,
-                )
-            solver = KIsomitBTSolver(binary)
-            cap = binary.num_real
-            if self.config.max_k_per_tree is not None:
-                cap = min(cap, self.config.max_k_per_tree)
-            with rec.span("rid.tree_dp", tree_nodes=binary.num_real):
-                per_k = [solver.solve(k) for k in range(1, cap + 1)]
-            if rec.enabled:
-                rec.gauge("rid.tree_nodes", binary.num_real)
-                rec.incr("rid.k_iterations", cap)
-            solvers.append(solver)
-            results_by_tree.append(per_k)
-            curves.append([result.score for result in per_k])
-            tree_sizes.append(binary.num_real)
-
-        # Knapsack over trees: best[j] = max total score using exactly j
-        # initiators over the trees processed so far; each tree consumes
-        # at least 1.
-        with rec.span("rid.knapsack", budget=budget, trees=len(trees)):
-            neg_inf = float("-inf")
-            best: List[float] = [0.0] + [neg_inf] * budget
-            choice: List[List[int]] = []  # choice[t][j] = k taken by tree t
-            for t, curve in enumerate(curves):
-                new_best = [neg_inf] * (budget + 1)
-                tree_choice = [0] * (budget + 1)
-                for j in range(budget + 1):
-                    if best[j] == neg_inf:
-                        continue
-                    for k, score in enumerate(curve, start=1):
-                        total = best[j] + score
-                        if j + k <= budget and total > new_best[j + k]:
-                            new_best[j + k] = total
-                            tree_choice[j + k] = k
-                best = new_best
-                choice.append(tree_choice)
-        if best[budget] == neg_inf:
-            raise ConfigError(
-                f"budget {budget} is infeasible for the extracted trees "
-                f"(per-tree caps too small)"
-            )
-
-        # Walk the knapsack back to per-tree budgets.
-        initiators: Dict[Node, NodeState] = {}
-        remaining = budget
-        per_tree_budgets: List[int] = [0] * len(trees)
-        for t in range(len(trees) - 1, -1, -1):
-            k = choice[t][remaining]
-            per_tree_budgets[t] = k
-            remaining -= k
-        self.last_selections = []
-        for t, k in enumerate(per_tree_budgets):
-            result = results_by_tree[t][k - 1]
-            initiators.update(result.initiators)
-            self.last_selections.append(
-                TreeSelection(
-                    # binary.num_real, matching select_initiators_for_tree —
-                    # the two entry points must report comparable sizes.
-                    tree_size=tree_sizes[t],
-                    k=k,
-                    score=result.score,
-                    penalized_objective=result.score,
-                    initiators=result.initiators,
-                    scanned_k=len(curves[t]),
-                )
-            )
-        return DetectionResult(
-            method=f"{self.name}(k={budget})",
-            initiators=set(initiators),
-            states=initiators,
-            trees=trees,
-            objective=best[budget],
-        )
+        self.last_selections = outcome.selections
+        return outcome.result

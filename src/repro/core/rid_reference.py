@@ -1,0 +1,185 @@
+"""The pre-refactor sequential RID pipeline, kept as an executable spec.
+
+This module freezes the fused single-function implementation that
+``RID.detect`` / ``RID.detect_with_budget`` used before detection moved
+to the staged :class:`~repro.pipeline.engine.DetectionEngine`. It exists
+for exactly one purpose: the **pipeline-identity gate**
+(``tests/integration/test_engine_identity.py`` and
+``benchmarks/bench_pipeline.py``) asserts that the engine's output —
+initiators, inferred states, objective, tree structures and ordering,
+per-tree selections — is bit-identical to this reference on the golden
+regression snapshots and on randomised multi-component worlds.
+
+Do not "improve" this module; behavioural changes belong in the engine,
+and the gate exists to catch them. It deliberately bypasses the
+``rid_module`` monkeypatch seam and the artifact caches: plain imports,
+no reuse, one sequential pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.baselines import DetectionResult
+from repro.core.binarize import binarize_cascade_tree
+from repro.core.cascade_forest import extract_cascade_forest
+from repro.core.tree_dp import KIsomitBTSolver, TreeDPResult
+from repro.errors import ConfigError
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.obs.recorder import Recorder, resolve_recorder
+from repro.types import Node, NodeState
+
+
+def reference_select_for_tree(config, tree: SignedDiGraph):
+    """The β-penalised k search on one cascade tree (sequential spec)."""
+    from repro.core.rid import TreeSelection
+
+    binary = binarize_cascade_tree(
+        tree, alpha=config.alpha, inconsistent_value=config.inconsistent_value
+    )
+    solver = KIsomitBTSolver(binary)
+    max_k = binary.num_real
+    if config.max_k_per_tree is not None:
+        max_k = min(max_k, config.max_k_per_tree)
+
+    best: Optional[TreeDPResult] = None
+    best_objective = float("-inf")
+    scanned = 0
+    for k in range(1, max_k + 1):
+        scanned += 1
+        result = solver.solve(k)
+        objective = result.score - (k - 1) * config.beta
+        if objective > best_objective:
+            best, best_objective = result, objective
+        elif config.k_strategy == "greedy":
+            break
+    assert best is not None
+    return TreeSelection(
+        tree_size=binary.num_real,
+        k=best.k,
+        score=best.score,
+        penalized_objective=best_objective,
+        initiators=best.initiators,
+        scanned_k=scanned,
+    )
+
+
+def reference_detect(
+    config, infected: SignedDiGraph, recorder: Optional[Recorder] = None
+) -> Tuple[DetectionResult, List]:
+    """Pre-refactor ``RID.detect``; returns ``(result, selections)``."""
+    config.validate()
+    rec = resolve_recorder(recorder)
+    trees = extract_cascade_forest(
+        infected,
+        score=config.score,
+        prune_inconsistent=config.prune_inconsistent,
+        recorder=rec,
+    )
+    initiators: Dict[Node, NodeState] = {}
+    total_objective = 0.0
+    selections = []
+    for tree in trees:
+        selection = reference_select_for_tree(config, tree)
+        selections.append(selection)
+        initiators.update(selection.initiators)
+        total_objective += selection.penalized_objective
+    result = DetectionResult(
+        method=f"rid(beta={config.beta})",
+        initiators=set(initiators),
+        states=initiators,
+        trees=trees,
+        objective=total_objective,
+    )
+    return result, selections
+
+
+def reference_detect_with_budget(
+    config,
+    infected: SignedDiGraph,
+    budget: int,
+    recorder: Optional[Recorder] = None,
+) -> Tuple[DetectionResult, List]:
+    """Pre-refactor ``RID.detect_with_budget``; returns ``(result, selections)``."""
+    from repro.core.rid import TreeSelection
+
+    config.validate()
+    rec = resolve_recorder(recorder)
+    trees = extract_cascade_forest(
+        infected,
+        score=config.score,
+        prune_inconsistent=config.prune_inconsistent,
+        recorder=rec,
+    )
+    if budget < len(trees) or budget > infected.number_of_nodes():
+        raise ConfigError(
+            f"budget must be in [{len(trees)}, {infected.number_of_nodes()}] "
+            f"({len(trees)} cascade trees were extracted), got {budget}"
+        )
+    curves: List[List[float]] = []
+    results_by_tree: List[List[TreeDPResult]] = []
+    tree_sizes: List[int] = []
+    for tree in trees:
+        binary = binarize_cascade_tree(
+            tree, alpha=config.alpha, inconsistent_value=config.inconsistent_value
+        )
+        solver = KIsomitBTSolver(binary)
+        cap = binary.num_real
+        if config.max_k_per_tree is not None:
+            cap = min(cap, config.max_k_per_tree)
+        per_k = [solver.solve(k) for k in range(1, cap + 1)]
+        results_by_tree.append(per_k)
+        curves.append([result.score for result in per_k])
+        tree_sizes.append(binary.num_real)
+
+    neg_inf = float("-inf")
+    best: List[float] = [0.0] + [neg_inf] * budget
+    choice: List[List[int]] = []
+    for t, curve in enumerate(curves):
+        new_best = [neg_inf] * (budget + 1)
+        tree_choice = [0] * (budget + 1)
+        for j in range(budget + 1):
+            if best[j] == neg_inf:
+                continue
+            for k, score in enumerate(curve, start=1):
+                total = best[j] + score
+                if j + k <= budget and total > new_best[j + k]:
+                    new_best[j + k] = total
+                    tree_choice[j + k] = k
+        best = new_best
+        choice.append(tree_choice)
+    if best[budget] == neg_inf:
+        raise ConfigError(
+            f"budget {budget} is infeasible for the extracted trees "
+            f"(per-tree caps too small)"
+        )
+
+    initiators: Dict[Node, NodeState] = {}
+    remaining = budget
+    per_tree_budgets: List[int] = [0] * len(trees)
+    for t in range(len(trees) - 1, -1, -1):
+        k = choice[t][remaining]
+        per_tree_budgets[t] = k
+        remaining -= k
+    selections = []
+    for t, k in enumerate(per_tree_budgets):
+        result = results_by_tree[t][k - 1]
+        initiators.update(result.initiators)
+        selections.append(
+            TreeSelection(
+                tree_size=tree_sizes[t],
+                k=k,
+                score=result.score,
+                penalized_objective=result.score,
+                initiators=result.initiators,
+                scanned_k=len(curves[t]),
+            )
+        )
+    result = DetectionResult(
+        method=f"rid(k={budget})",
+        initiators=set(initiators),
+        states=initiators,
+        trees=trees,
+        objective=best[budget],
+    )
+    return result, selections

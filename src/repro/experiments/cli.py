@@ -105,11 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run_detect(scale: float, seed: int) -> None:
+def run_detect(scale: float, seed: int, runtime: Optional[RuntimeConfig] = None) -> None:
     """One end-to-end plant → spread → detect run via the stable facade.
 
     The smallest artefact that exercises every instrumented stage —
-    handy with ``--metrics`` / ``--trace-out``.
+    handy with ``--metrics`` / ``--trace-out``. ``--workers N`` fans the
+    detection pipeline's per-component/per-tree work units over the
+    process pool; ``--cache-dir`` persists stage artifacts across
+    invocations.
     """
     from repro import api
     from repro.experiments.config import WorkloadConfig
@@ -118,7 +121,7 @@ def run_detect(scale: float, seed: int) -> None:
 
     config = WorkloadConfig(dataset="epinions", scale=scale, seed=seed)
     workload = build_workload(config, trial=0)
-    result = api.detect(workload.infected)
+    result = api.detect(workload.infected, runtime=runtime)
     scores = identity_metrics(result.initiators, set(workload.seeds))
     print(
         f"detect: {workload.infected.number_of_nodes()} infected nodes, "
@@ -166,7 +169,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.artefact in ("sweeps", "all"):
             sweeps.main(seed=args.seed, scale=args.scale)
         if args.artefact == "detect":
-            run_detect(scale=args.scale, seed=args.seed)
+            run_detect(scale=args.scale, seed=args.seed, runtime=runtime)
 
     if metrics_recorder is not None:
         print()

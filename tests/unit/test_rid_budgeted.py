@@ -90,6 +90,33 @@ class TestBudgetedDetection:
             detector.detect_with_budget(two_tree_snapshot(), budget=3)
 
 
+class TestEmptySnapshot:
+    """A snapshot with zero infected nodes is well-formed for budget=0.
+
+    Regression: the pre-refactor implementation crashed with
+    EmptyInfectionError before validating the budget at all.
+    """
+
+    def test_budget_zero_returns_empty_result(self):
+        detector = RID()
+        result = detector.detect_with_budget(SignedDiGraph(), budget=0)
+        assert result.initiators == set()
+        assert result.states == {}
+        assert result.trees == []
+        assert result.objective == 0.0
+        assert result.method == "rid(k=0)"
+        assert detector.last_selections == []
+
+    def test_nonzero_budget_rejected_with_range_message(self):
+        with pytest.raises(ConfigError, match=r"budget must be in \[0, 0\]"):
+            RID().detect_with_budget(SignedDiGraph(), budget=1)
+
+    def test_deprecated_k_spelling_still_works_on_empty(self):
+        with pytest.warns(DeprecationWarning):
+            result = RID().detect_with_budget(SignedDiGraph(), k=0)
+        assert result.initiators == set()
+
+
 class TestDiagnosticsConsistency:
     def test_tree_size_matches_beta_mode(self):
         """Both entry points must report the same per-tree sizes."""
