@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Benchmark the compiled TreeDP kernel against the recursive solver.
+
+Builds paper-scale random cascade trees (general fan-out, random
+states), binarises each, and runs the Sec. III-D k-ISOMIT-BT budget
+sweep (``k = 1..cap``) two ways:
+
+1. **identity** — asserts the compiled kernel's whole curve (``score``
+   and ``initiators`` per budget) is **bit-identical** to the recursive
+   dict-memo solver, exiting non-zero on any mismatch;
+2. **timing** — compares the recursive solver's incremental sweep
+   (shared memo across budgets) against the kernel's single-sweep
+   ``solve_curve``. The n=2000 configuration is the gated headline: the
+   kernel must be ≥ 3x faster end-to-end.
+
+Results are written as JSON (default ``BENCH_tree_dp.json`` in the
+current directory). Run with:
+
+    PYTHONPATH=src python benchmarks/bench_tree_dp.py
+
+``--tiny`` runs a seconds-scale smoke configuration meant for CI: full
+identity checks, no assertions about speed (CI boxes are noisy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.binarize import binarize_cascade_tree
+from repro.core.tree_dp import KIsomitBTSolver
+from repro.graphs.generators.trees import random_general_tree
+from repro.types import NodeState
+from repro.utils.rng import spawn_rng
+
+
+def build_tree(n: int, seed: int):
+    """A random ``n``-node general cascade tree with random states."""
+    tree = random_general_tree(n, max_children=3, rng=seed)
+    rng = spawn_rng(seed, "bench-tree-dp-states")
+    for node in tree.nodes():
+        tree.set_state(
+            node, NodeState.POSITIVE if rng.random() < 0.6 else NodeState.NEGATIVE
+        )
+    return tree
+
+
+def reference_curve(binary, cap):
+    """The recursive solver's incremental budget sweep (shared memo)."""
+    solver = KIsomitBTSolver(binary, use_kernel=False)
+    return [solver.solve(k) for k in range(1, cap + 1)]
+
+
+def compiled_curve(binary, cap):
+    """The kernel's single-sweep curve (includes tree compilation)."""
+    return KIsomitBTSolver(binary).solve_curve(cap)
+
+
+def check_identity(binary, cap, label: str) -> list:
+    """Compiled vs recursive over the whole curve; returns failure strings."""
+    failures = []
+    reference = reference_curve(binary, cap)
+    compiled = compiled_curve(binary, cap)
+    for ref, ker in zip(reference, compiled):
+        if ker.score != ref.score:
+            failures.append(
+                f"{label} k={ref.k}: score {ker.score!r} != reference {ref.score!r}"
+            )
+        if ker.initiators != ref.initiators:
+            failures.append(f"{label} k={ref.k}: initiators differ from reference")
+    return failures
+
+
+def bench(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true", help="CI smoke: identity only")
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[200, 2000, 10000]
+    )
+    parser.add_argument("--max-k", type=int, default=20, help="budget sweep cap")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_tree_dp.json")
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        args.sizes, args.max_k, args.repeats = [40, 120], 8, 1
+
+    report = {
+        "max_k": args.max_k,
+        "seed": args.seed,
+        "trees": [],
+        "note": (
+            "budget sweep k=1..cap per tree; reference = recursive dict-memo "
+            "solver with memo shared across budgets, compiled = flat-array "
+            "kernel solve_curve (one post-order sweep, compile included)"
+        ),
+    }
+
+    failed = False
+    for n in args.sizes:
+        tree = build_tree(n, args.seed)
+        binary = binarize_cascade_tree(tree, alpha=3.0)
+        cap = min(args.max_k, binary.num_real)
+        entry = {
+            "n": n,
+            "binary_size": binary.size(),
+            "depth": binary.depth(),
+            "cap": cap,
+        }
+
+        failures = check_identity(binary, cap, f"n={n}")
+        if failures:
+            for failure in failures:
+                print(f"IDENTITY FAILURE: {failure}", file=sys.stderr)
+            failed = True
+            continue
+        print(f"n={n}: identity OK (curve k=1..{cap} bit-identical)")
+
+        if not args.tiny:
+            reference_s = bench(lambda: reference_curve(binary, cap), args.repeats)
+            compiled_s = bench(lambda: compiled_curve(binary, cap), args.repeats)
+            speedup = reference_s / compiled_s
+            entry.update(
+                {
+                    "reference_s": round(reference_s, 6),
+                    "compiled_s": round(compiled_s, 6),
+                    "speedup": round(speedup, 3),
+                }
+            )
+            print(
+                f"n={n}: reference {reference_s:.4f}s, compiled {compiled_s:.4f}s "
+                f"-> speedup {speedup:.2f}x"
+            )
+            # The acceptance gate targets the n=2000 configuration.
+            if n == 2000 and speedup < 3.0:
+                print(
+                    f"SPEEDUP FAILURE: n=2000 {speedup:.2f}x < 3x", file=sys.stderr
+                )
+                failed = True
+        report["trees"].append(entry)
+
+    if failed:
+        return 1
+    report["identity"] = "ok"
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

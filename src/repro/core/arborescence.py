@@ -13,8 +13,10 @@ scratch in the paper's own vocabulary:
 * :func:`find_circles` — detect the cycles that greedy selection creates;
 * the cycle **contraction** with score adjustment
   ``w'(u_x, u_o) = w(u_x, u_y) - w(π(u_y), u_y)`` — Algorithm 3 (CC);
-* :func:`maximum_spanning_branching` — the full recursive
-  select/contract/expand loop (Algorithm 4's engine).
+* :func:`maximum_spanning_branching` — the full select/contract/expand
+  loop (Algorithm 4's engine), run iteratively: contraction levels are
+  pushed onto an explicit list and expanded in reverse, so deeply
+  nested cycle structures never touch the interpreter recursion limit.
 
 Score transform: maximising ``Π w`` is maximising ``Σ log w``, so the
 default score is ``log`` (clamped at a floor for zero weights). The
@@ -34,7 +36,6 @@ roots are exactly the in-degree-0 infected users.
 from __future__ import annotations
 
 import math
-import sys
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -162,84 +163,96 @@ def _max_arborescence(
     root: Node,
     next_label: int,
 ) -> List[_ArbEdge]:
-    """Recursive Chu-Liu/Edmonds for a rooted maximum arborescence.
+    """Iterative Chu-Liu/Edmonds for a rooted maximum arborescence.
+
+    Select/contract until the greedy selection is acyclic, recording one
+    level record per contraction round, then expand the records in
+    reverse. (This used to be a recursive function — one stack frame per
+    contraction level; deeply nested cycle structures could exceed the
+    interpreter recursion limit.)
 
     Returns the chosen edges (as the internal records, whose ``original``
     fields identify input-graph edges).
     """
-    best = _greedy_in_edges(nodes, edges, root)
-    cycles = find_circles({v: e.u for v, e in best.items()})
-    if not cycles:
-        return list(best.values())
+    # (node_of, cycle_edges) per contraction round, innermost last.
+    levels: List[Tuple[Dict[Node, Node], Dict[Node, Dict[Node, _ArbEdge]], Dict[Edge, Node]]] = []
+    while True:
+        best = _greedy_in_edges(nodes, edges, root)
+        cycles = find_circles({v: e.u for v, e in best.items()})
+        if not cycles:
+            chosen = list(best.values())
+            break
 
-    # --- Contract every cycle (Algorithm 3) -----------------------------
-    node_of: Dict[Node, Node] = {}  # member -> supernode label
-    cycle_edges: Dict[Node, Dict[Node, _ArbEdge]] = {}  # supernode -> {member: its cycle in-edge}
-    for cycle in cycles:
-        supernode: Node = ("__cycle__", next_label)
-        next_label += 1
-        cycle_edges[supernode] = {member: best[member] for member in cycle}
-        for member in cycle:
-            node_of[member] = supernode
+        # --- Contract every cycle (Algorithm 3) -------------------------
+        node_of: Dict[Node, Node] = {}  # member -> supernode label
+        cycle_edges: Dict[Node, Dict[Node, _ArbEdge]] = {}  # supernode -> {member: its cycle in-edge}
+        for cycle in cycles:
+            supernode: Node = ("__cycle__", next_label)
+            next_label += 1
+            cycle_edges[supernode] = {member: best[member] for member in cycle}
+            for member in cycle:
+                node_of[member] = supernode
 
-    def resolve(node: Node) -> Node:
-        return node_of.get(node, node)
+        # Order is irrelevant here (the node list only feeds the coverage
+        # check in _greedy_in_edges); dict-from-keys preserves determinism
+        # without paying for a repr sort on every contraction level.
+        contracted_nodes: List[Node] = list(
+            dict.fromkeys(node_of.get(n, n) for n in nodes)
+        )
+        # For each contracted in-edge we must remember which cycle member it
+        # actually enters, to know which cycle edge to drop on expansion.
+        # Keyed by the edge's `original` identity, which is unique per level
+        # and survives the copies deeper contraction levels make.
+        entry_member: Dict[Edge, Node] = {}
+        # Parallel-edge dedup: edges into a contracted node are all adjusted
+        # relative to the cycle edge their own entry point displaces, and
+        # within one (source, target) supernode pair only the best adjusted
+        # score can ever be selected — at this level or any deeper one (later
+        # adjustments subtract the same displaced score from every parallel
+        # edge). Keeping only the max keeps each level's edge count bounded
+        # by the contracted graph's pair count instead of the input size.
+        best_pair: Dict[Tuple[Node, Node], _ArbEdge] = {}
+        for edge in edges:
+            cu = node_of.get(edge.u, edge.u)
+            cv = node_of.get(edge.v, edge.v)
+            if cu == cv:
+                continue  # intra-cycle edge: dropped
+            if cv in cycle_edges:
+                # Edge entering a cycle: adjust the score by the cycle edge it
+                # would displace (w'(u_x, u_o) = w(u_x, u_y) - w(pi(u_y), u_y)).
+                displaced = cycle_edges[cv][edge.v]
+                entry_member[edge.original] = edge.v
+                candidate = _ArbEdge(cu, cv, edge.score - displaced.score, edge.original)
+            else:
+                candidate = _ArbEdge(cu, cv, edge.score, edge.original)
+            current = best_pair.get((cu, cv))
+            if current is None or candidate.score > current.score:
+                best_pair[(cu, cv)] = candidate
 
-    # Order is irrelevant here (the node list only feeds the coverage
-    # check in _greedy_in_edges); dict-from-keys preserves determinism
-    # without paying for a repr sort on every contraction level.
-    contracted_nodes: List[Node] = list(dict.fromkeys(resolve(n) for n in nodes))
-    # For each contracted in-edge we must remember which cycle member it
-    # actually enters, to know which cycle edge to drop on expansion.
-    # Keyed by the edge's `original` identity, which is unique per level
-    # and survives the copies deeper recursion levels make.
-    entry_member: Dict[Edge, Node] = {}
-    # Parallel-edge dedup: edges into a contracted node are all adjusted
-    # relative to the cycle edge their own entry point displaces, and
-    # within one (source, target) supernode pair only the best adjusted
-    # score can ever be selected — at this level or any deeper one (later
-    # adjustments subtract the same displaced score from every parallel
-    # edge). Keeping only the max keeps each level's edge count bounded
-    # by the contracted graph's pair count instead of the input size.
-    best_pair: Dict[Tuple[Node, Node], _ArbEdge] = {}
-    for edge in edges:
-        cu, cv = resolve(edge.u), resolve(edge.v)
-        if cu == cv:
-            continue  # intra-cycle edge: dropped
-        if cv in cycle_edges:
-            # Edge entering a cycle: adjust the score by the cycle edge it
-            # would displace (w'(u_x, u_o) = w(u_x, u_y) - w(pi(u_y), u_y)).
-            displaced = cycle_edges[cv][edge.v]
-            entry_member[edge.original] = edge.v
-            candidate = _ArbEdge(cu, cv, edge.score - displaced.score, edge.original)
-        else:
-            candidate = _ArbEdge(cu, cv, edge.score, edge.original)
-        current = best_pair.get((cu, cv))
-        if current is None or candidate.score > current.score:
-            best_pair[(cu, cv)] = candidate
-    contracted_edges: List[_ArbEdge] = list(best_pair.values())
+        levels.append((node_of, cycle_edges, entry_member))
+        nodes = contracted_nodes
+        edges = list(best_pair.values())
+        root = node_of.get(root, root)
 
-    chosen = _max_arborescence(
-        contracted_nodes, contracted_edges, resolve(root), next_label
-    )
-
-    # --- Expand ----------------------------------------------------------
+    # --- Expand, innermost contraction first ------------------------------
     # Map each original edge chosen in the contraction back, and for each
     # cycle keep every internal edge except the one displaced by the
     # chosen entry edge.
-    result: List[_ArbEdge] = []
-    entered: Dict[Node, Node] = {}  # supernode -> member its in-edge enters
-    for edge in chosen:
-        result.append(edge)
-        member = entry_member.get(edge.original)
-        if member is not None and member in node_of:
-            entered[node_of[member]] = member
-    for supernode, members in cycle_edges.items():
-        drop = entered.get(supernode)
-        for member, cycle_edge in members.items():
-            if member != drop:
-                result.append(cycle_edge)
-    return result
+    for node_of, cycle_edges, entry_member in reversed(levels):
+        result: List[_ArbEdge] = []
+        entered: Dict[Node, Node] = {}  # supernode -> member its in-edge enters
+        for edge in chosen:
+            result.append(edge)
+            member = entry_member.get(edge.original)
+            if member is not None and member in node_of:
+                entered[node_of[member]] = member
+        for supernode, members in cycle_edges.items():
+            drop = entered.get(supernode)
+            for member, cycle_edge in members.items():
+                if member != drop:
+                    result.append(cycle_edge)
+        chosen = result
+    return chosen
 
 
 def maximum_spanning_branching(
@@ -263,11 +276,6 @@ def maximum_spanning_branching(
     """
     transform = SCORE_TRANSFORMS[score]
     nodes = graph.nodes()
-    # Each recursion level contracts at least one cycle; deeply nested
-    # cycle structures can exceed CPython's default recursion limit.
-    minimum_limit = 2 * len(nodes) + 100
-    if sys.getrecursionlimit() < minimum_limit:
-        sys.setrecursionlimit(minimum_limit)
     forest = SignedDiGraph(name=f"{graph.name or 'graph'}-branching")
     for node in nodes:
         forest.add_node(node, graph.state(node))

@@ -20,7 +20,6 @@ structure the DP consumes directly.
 
 from __future__ import annotations
 
-import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -148,11 +147,6 @@ def binarize_cascade_tree(
     """
     if tree.number_of_nodes() == 0:
         raise NotATreeError("cannot binarise an empty tree")
-    # `build` recurses along root-to-leaf paths; deep cascade trees need
-    # a higher recursion ceiling than CPython's default.
-    minimum_limit = 4 * tree.number_of_nodes() + 1000
-    if sys.getrecursionlimit() < minimum_limit:
-        sys.setrecursionlimit(minimum_limit)
     if any(tree.in_degree(v) > 1 for v in tree.nodes()):
         raise NotATreeError("input has a node with multiple parents")
     root_node = find_tree_root(tree)
@@ -177,14 +171,32 @@ def binarize_cascade_tree(
         else:  # pragma: no cover - construction never overfills a slot
             raise NotATreeError("internal error: binary slot overfull")
 
-    def build(node: Node, parent_uid: Optional[int], g_in: float) -> int:
+    # Explicit-stack DFS replacing the old `build`/`fan_out` recursion
+    # (deep path-like cascade trees must build within CPython's default
+    # recursion limit). Work items are processed LIFO and pushed in
+    # reverse, so slots are created in the exact uid order — and children
+    # attached in the exact left/right order — the recursion produced.
+    #
+    #   ("build", node, parent_uid, g_in)           create the slot now
+    #   ("fanout", parent_uid, state, descriptors)  layout its children
+    #   ("chunk", parent_uid, state, chunk)         one fan-out half;
+    #       dummies are minted only when their chunk is reached, after
+    #       the preceding sibling's whole subtree is built.
+
+    def build_slot(node: Node, parent_uid: Optional[int], g_in: float) -> None:
         uid = new_slot(node, tree.state(node), g_in, parent_uid)
-        children = sorted(tree.successors(node), key=repr)
+        if parent_uid is not None:
+            # Siblings reach here in left-to-right order, and nothing in a
+            # sibling's subtree attaches to this parent in between — so
+            # attaching at creation fills left/right exactly as the
+            # recursive attach-after-build did.
+            attach_child(parent_uid, uid)
+        state = tree.state(node)
         descriptors = []
-        for child in children:
+        for child in sorted(tree.successors(node), key=repr):
             data = tree.edge(node, child)
             g = g_link(
-                tree.state(node),
+                state,
                 data.sign,
                 tree.state(child),
                 data.weight,
@@ -192,30 +204,33 @@ def binarize_cascade_tree(
                 inconsistent_value,
             )
             descriptors.append((child, g))
-        fan_out(uid, tree.state(node), descriptors)
-        return uid
+        stack.append(("fanout", uid, state, descriptors))
 
-    def fan_out(
-        parent_uid: int,
-        inherited_state: NodeState,
-        descriptors: List[Tuple[Node, float]],
-    ) -> None:
-        """Attach child descriptors under ``parent_uid``, inserting
-        transparent dummies when there are more than two."""
-        if len(descriptors) <= 2:
-            for child, g in descriptors:
-                attach_child(parent_uid, build(child, parent_uid, g))
-            return
-        half = (len(descriptors) + 1) // 2
-        for chunk in (descriptors[:half], descriptors[half:]):
+    stack: List[Tuple] = [("build", root_node, None, 1.0)]
+    while stack:
+        kind, *rest = stack.pop()
+        if kind == "build":
+            node, parent_uid, g_in = rest
+            build_slot(node, parent_uid, g_in)
+        elif kind == "fanout":
+            parent_uid, state, descriptors = rest
+            if len(descriptors) <= 2:
+                for child, g in reversed(descriptors):
+                    stack.append(("build", child, parent_uid, g))
+            else:
+                half = (len(descriptors) + 1) // 2
+                stack.append(("chunk", parent_uid, state, descriptors[half:]))
+                stack.append(("chunk", parent_uid, state, descriptors[:half]))
+        else:  # "chunk"
+            parent_uid, state, chunk = rest
             if len(chunk) == 1:
                 child, g = chunk[0]
-                attach_child(parent_uid, build(child, parent_uid, g))
+                build_slot(child, parent_uid, g)
             else:
-                dummy_uid = new_slot(None, inherited_state, 1.0, parent_uid)
+                dummy_uid = new_slot(None, state, 1.0, parent_uid)
                 attach_child(parent_uid, dummy_uid)
-                fan_out(dummy_uid, inherited_state, chunk)
+                stack.append(("fanout", dummy_uid, state, chunk))
 
-    binary.root = build(root_node, None, 1.0)
+    binary.root = 0  # the root's slot is the first one created
     binary.num_real = tree.number_of_nodes()
     return binary

@@ -27,6 +27,10 @@ and pinned bit-identical by the pipeline-identity gate.
 ``binarize_cascade_tree`` and ``KIsomitBTSolver`` are re-exported here
 and looked up dynamically by the pipeline stages — monkeypatching them
 on this module (as the DP stub tests do) affects every entry point.
+``KIsomitBTSolver`` defaults to the compiled flat-array TreeDP kernel
+(:mod:`repro.kernel.tree_dp`, bit-identical to the recursive program;
+``use_kernel=False`` opts out), so every RID entry point runs the
+iterative, recursion-free DP by default.
 """
 
 from __future__ import annotations

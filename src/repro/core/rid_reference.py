@@ -37,7 +37,9 @@ def reference_select_for_tree(config, tree: SignedDiGraph):
     binary = binarize_cascade_tree(
         tree, alpha=config.alpha, inconsistent_value=config.inconsistent_value
     )
-    solver = KIsomitBTSolver(binary)
+    # The reference stays on the recursive solver: the identity gate then
+    # crosses the compiled-kernel/reference boundary, not kernel-vs-kernel.
+    solver = KIsomitBTSolver(binary, use_kernel=False)
     max_k = binary.num_real
     if config.max_k_per_tree is not None:
         max_k = min(max_k, config.max_k_per_tree)
@@ -123,7 +125,8 @@ def reference_detect_with_budget(
         binary = binarize_cascade_tree(
             tree, alpha=config.alpha, inconsistent_value=config.inconsistent_value
         )
-        solver = KIsomitBTSolver(binary)
+        # Recursive oracle here too — see reference_select_for_tree.
+        solver = KIsomitBTSolver(binary, use_kernel=False)
         cap = binary.num_real
         if config.max_k_per_tree is not None:
             cap = min(cap, config.max_k_per_tree)

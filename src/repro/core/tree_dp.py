@@ -28,6 +28,16 @@ Dummy nodes from the binarisation are transparent: they contribute
 nothing to the objective, cannot be initiators, and their incoming edge
 has ``g = 1``.
 
+Execution paths: by default :class:`KIsomitBTSolver` delegates to the
+compiled flat-array kernel (:mod:`repro.kernel.tree_dp`) — an iterative
+post-order sweep with no recursion and no dict memo, bit-identical to
+the recursive program below (``use_kernel=False`` keeps the original
+recursive solver, which the identity tests and ``rid_reference`` use as
+the oracle). The recursive path runs within CPython's default recursion
+limit — it no longer mutates the process-wide limit — so it is only
+suitable for the shallow trees the test oracle exercises; deep
+(path-like) cascade trees go through the kernel.
+
 :func:`brute_force_k_isomit` provides an exhaustive reference solver
 used by the test suite to certify DP optimality on small trees, with both
 the nearest-ancestor scoring (must match the DP exactly) and the full
@@ -37,12 +47,12 @@ noisy-or scoring (for measuring the collapse's approximation error).
 from __future__ import annotations
 
 import itertools
-import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.binarize import BinaryCascadeTree
 from repro.errors import DynamicProgramError
+from repro.kernel.tree_dp import TreeDPKernel
 from repro.types import Node, NodeState
 
 _NEG_INF = float("-inf")
@@ -70,15 +80,22 @@ class KIsomitBTSolver:
 
     The memo is shared across calls with different ``k``, so RID's
     incremental k-search pays each subproblem once.
+
+    Args:
+        tree: the binarised cascade tree to solve over.
+        use_kernel: with the default ``True``, ``solve``/``solve_curve``
+            run on the compiled flat-array kernel
+            (:class:`repro.kernel.tree_dp.TreeDPKernel`) — iterative,
+            recursion-free, bit-identical results. ``False`` keeps the
+            original recursive dict-memo program (the identity oracle);
+            that path needs CPython stack frames proportional to tree
+            depth and is only safe on shallow trees.
     """
 
-    def __init__(self, tree: BinaryCascadeTree) -> None:
+    def __init__(self, tree: BinaryCascadeTree, use_kernel: bool = True) -> None:
         self.tree = tree
-        # Both _solve and path_product recurse along root-to-leaf paths;
-        # deep (path-like) cascade trees need a higher recursion ceiling.
-        minimum_limit = 4 * tree.size() + 1000
-        if sys.getrecursionlimit() < minimum_limit:
-            sys.setrecursionlimit(minimum_limit)
+        self.use_kernel = use_kernel
+        self._kernel: Optional[TreeDPKernel] = None
         # Number of real (initiator-eligible) nodes in each slot's subtree,
         # used to clamp budget splits: a subtree of real size s can never
         # absorb more than s initiators.
@@ -116,20 +133,38 @@ class KIsomitBTSolver:
     # ------------------------------------------------------------------
 
     def path_product(self, anc: int, uid: int) -> float:
-        """``Π g`` along the tree path from ``anc`` (exclusive) to ``uid``."""
+        """``Π g`` along the tree path from ``anc`` (exclusive) to ``uid``.
+
+        Iterative: walks the parent chain up to ``anc`` (or the first
+        cached prefix), then multiplies back down top-to-bottom — the
+        exact order the old recursive version used, filling the same
+        cache entries with bit-identical values.
+        """
         if anc == uid:
             return 1.0
-        key = (anc, uid)
-        cached = self._gprod.get(key)
+        cached = self._gprod.get((anc, uid))
         if cached is not None:
             return cached
-        node = self.tree.node(uid)
-        if node.parent is None:
-            raise DynamicProgramError(
-                f"{anc} is not an ancestor of {uid} in the binarised tree"
-            )
-        value = self.path_product(anc, node.parent) * node.g_in
-        self._gprod[key] = value
+        chain: List[int] = []  # uids whose products are still unknown, bottom-up
+        cur = uid
+        while True:
+            parent = self.tree.node(cur).parent
+            if parent is None:
+                raise DynamicProgramError(
+                    f"{anc} is not an ancestor of {uid} in the binarised tree"
+                )
+            chain.append(cur)
+            if parent == anc:
+                value = 1.0
+                break
+            cached = self._gprod.get((anc, parent))
+            if cached is not None:
+                value = cached
+                break
+            cur = parent
+        for cuid in reversed(chain):
+            value = value * self.tree.node(cuid).g_in
+            self._gprod[(anc, cuid)] = value
         return value
 
     def node_probability(self, uid: int, anc: Optional[int]) -> float:
@@ -196,12 +231,20 @@ class KIsomitBTSolver:
         self._memo[key] = (best_score, best_is_initiator, best_left_budget)
         return best_score
 
+    def _get_kernel(self) -> TreeDPKernel:
+        """Lazily compile the tree (so path-product-only users skip it)."""
+        if self._kernel is None:
+            self._kernel = TreeDPKernel(self.tree)
+        return self._kernel
+
     def solve(self, k: int) -> TreeDPResult:
         """Optimal placement of exactly ``k`` initiators in the tree.
 
         Raises:
             DynamicProgramError: when ``k`` is out of ``[0, num_real]``.
         """
+        if self.use_kernel:
+            return self._get_kernel().solve(k)
         if k < 0 or k > self.tree.num_real:
             raise DynamicProgramError(
                 f"k must be in [0, {self.tree.num_real}], got {k}"
@@ -211,6 +254,30 @@ class KIsomitBTSolver:
             raise DynamicProgramError(f"no feasible placement of {k} initiators")
         initiators = self._reconstruct(k)
         return TreeDPResult(k=k, score=score, initiators=initiators)
+
+    def solve_curve(self, k_max: int) -> List[TreeDPResult]:
+        """The incremental curve ``[solve(1), …, solve(k_max)]``.
+
+        On the kernel path the whole curve comes out of a single
+        post-order sweep (the memo is shared across budgets); the
+        recursive path just loops, sharing its dict memo the same way.
+
+        Raises:
+            DynamicProgramError: when ``k_max`` is out of ``[0, num_real]``.
+        """
+        if self.use_kernel:
+            return self._get_kernel().solve_curve(k_max)
+        if k_max < 0 or k_max > self.tree.num_real:
+            raise DynamicProgramError(
+                f"k must be in [0, {self.tree.num_real}], got {k_max}"
+            )
+        return [self.solve(k) for k in range(1, k_max + 1)]
+
+    def memo_size(self) -> int:
+        """Solved DP states so far (table entries / memo entries)."""
+        if self.use_kernel:
+            return self._kernel.memo_states if self._kernel is not None else 0
+        return len(self._memo)
 
     def _reconstruct(self, k: int) -> Dict[Node, NodeState]:
         """Walk the memoised decisions to recover the chosen initiators."""
@@ -281,7 +348,10 @@ def brute_force_k_isomit(
     real_uids = [n.uid for n in tree.nodes if not n.is_dummy]
     if k < 0 or k > len(real_uids):
         raise DynamicProgramError(f"k must be in [0, {len(real_uids)}], got {k}")
-    helper = KIsomitBTSolver(tree)
+    # Only path_product is needed — skip compiling a kernel for it. Both
+    # helpers (`_ancestors_of`, `path_product`) are iterative, so the
+    # oracle itself survives deep trees.
+    helper = KIsomitBTSolver(tree, use_kernel=False)
 
     best_score = _NEG_INF
     best_set: Tuple[int, ...] = ()

@@ -24,6 +24,14 @@ Compiled forms are cached per graph instance, keyed on the graph's
 cheap :attr:`~repro.graphs.signed_digraph.SignedDiGraph.structure_version`
 mutation counter, so repeated simulation on an unchanged graph compiles
 once and any topology/sign/weight mutation recompiles on next use.
+
+The same playbook applies to detection's per-tree hot path:
+:mod:`repro.kernel.tree_dp` compiles a binarised cascade tree into flat
+post-order arrays (:func:`compile_binary_tree` →
+:class:`CompiledBinaryTree`) and runs the Sec. III-D k-ISOMIT-BT
+dynamic program as a single iterative sweep
+(:class:`TreeDPKernel` / :func:`solve_k_isomit_bt_compiled`),
+bit-identical to the recursive reference solver.
 """
 
 from repro.kernel.compile import CompiledGraph, compile_graph
@@ -32,6 +40,13 @@ from repro.kernel.cascade import (
     run_ic_compiled,
     run_mfc_compiled,
 )
+from repro.kernel.tree_dp import (
+    CompiledBinaryTree,
+    TreeDPKernel,
+    compile_binary_tree,
+    solve_curve_compiled,
+    solve_k_isomit_bt_compiled,
+)
 
 __all__ = [
     "CompiledGraph",
@@ -39,4 +54,9 @@ __all__ = [
     "check_seeds_compiled",
     "run_ic_compiled",
     "run_mfc_compiled",
+    "CompiledBinaryTree",
+    "TreeDPKernel",
+    "compile_binary_tree",
+    "solve_curve_compiled",
+    "solve_k_isomit_bt_compiled",
 ]

@@ -99,6 +99,13 @@ def _tree_cap(config: "Any", binary: "Any") -> int:
     return cap
 
 
+def _emit_memo_gauge(rec: Recorder, solver: "Any") -> None:
+    """DP memo-size gauge, feature-detected (stub solvers lack it)."""
+    memo_size = getattr(solver, "memo_size", None)
+    if memo_size is not None:
+        rec.gauge("rid.tree_dp.memo_states", memo_size())
+
+
 def greedy_tree_selection(
     config: "Any", tree: SignedDiGraph, recorder: Optional[Recorder] = None
 ) -> "Any":
@@ -118,7 +125,11 @@ def greedy_tree_selection(
     best = None
     best_objective = float("-inf")
     scanned = 0
-    with rec.span("rid.tree_dp", tree_nodes=binary.num_real):
+    with rec.span(
+        "rid.tree_dp",
+        tree_nodes=binary.num_real,
+        compiled=bool(getattr(solver, "use_kernel", False)),
+    ):
         for k in range(1, max_k + 1):
             scanned += 1
             result = solver.solve(k)
@@ -132,6 +143,7 @@ def greedy_tree_selection(
     if rec.enabled:
         rec.gauge("rid.tree_nodes", binary.num_real)
         rec.incr("rid.k_iterations", scanned)
+        _emit_memo_gauge(rec, solver)
     assert best is not None  # max_k >= 1 guarantees one iteration
     return rid_module.TreeSelection(
         tree_size=binary.num_real,
@@ -153,11 +165,23 @@ def tree_curve(
     binary = binarize_tree(config, tree, rec)
     solver = rid_module.KIsomitBTSolver(binary)
     cap = _tree_cap(config, binary)
-    with rec.span("rid.tree_dp", tree_nodes=binary.num_real):
-        per_k = [solver.solve(k) for k in range(1, cap + 1)]
+    # The compiled solver produces the whole incremental curve from one
+    # post-order sweep; fall back to a per-k loop for solvers without
+    # solve_curve (the DP stub tests monkeypatch minimal solvers in).
+    solve_curve = getattr(solver, "solve_curve", None)
+    with rec.span(
+        "rid.tree_dp",
+        tree_nodes=binary.num_real,
+        compiled=bool(getattr(solver, "use_kernel", False)),
+    ):
+        if solve_curve is not None:
+            per_k = solve_curve(cap)
+        else:
+            per_k = [solver.solve(k) for k in range(1, cap + 1)]
     if rec.enabled:
         rec.gauge("rid.tree_nodes", binary.num_real)
         rec.incr("rid.k_iterations", cap)
+        _emit_memo_gauge(rec, solver)
     return CurveArtifact(tree_size=binary.num_real, results=per_k)
 
 
@@ -234,10 +258,14 @@ class TreeDPStage(Stage):
     :class:`CurveArtifact`. The two modes cache independently — but the
     curve key deliberately excludes ``budget``, so one k-search sweep
     computes each tree's curve exactly once.
+
+    Version 2: the DP runs on the compiled flat-array kernel by default
+    (bit-identical output, but the bump keeps cache keys disjoint from
+    artifacts computed by the recursive pre-kernel code).
     """
 
     persist = True
-    version = 1
+    version = 2
 
     def __init__(self, mode: str) -> None:
         if mode not in ("greedy", "curve"):

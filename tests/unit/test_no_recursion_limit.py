@@ -1,0 +1,22 @@
+"""The package must never mutate the interpreter recursion limit.
+
+``sys.setrecursionlimit`` used to be bumped (and never restored) by
+``core/tree_dp.py``, ``core/binarize.py`` and ``core/arborescence.py``
+— a process-wide global-state leak that worker processes inherited and
+a crash risk masker on deep cascade trees. All three call sites were
+replaced by explicit-stack / compiled-kernel implementations; this test
+greps the installed package so a regression cannot slip back in.
+"""
+
+from pathlib import Path
+
+import repro
+
+
+def test_no_setrecursionlimit_anywhere_in_package():
+    package_root = Path(repro.__file__).resolve().parent
+    offenders = []
+    for path in sorted(package_root.rglob("*.py")):
+        if "setrecursionlimit" in path.read_text(encoding="utf-8"):
+            offenders.append(str(path.relative_to(package_root)))
+    assert offenders == []
