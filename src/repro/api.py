@@ -29,6 +29,7 @@ detector ``k=``/``max_k=`` budget spellings).
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 from typing import Dict, List, Mapping, Optional, Union
 
@@ -63,19 +64,35 @@ MODEL_REGISTRY = {
 Snapshot = Union[SignedDiGraph, DiffusionResult, Mapping[Node, NodeState], None]
 
 
-def _resolve_model(model: Union[DiffusionModel, str, None]) -> DiffusionModel:
-    if model is None:
-        return MFCModel()
+def _resolve_model(
+    model: Union[DiffusionModel, str, None], backend: Optional[str] = None
+) -> DiffusionModel:
     if isinstance(model, DiffusionModel):
+        if backend is not None:
+            raise ConfigError(
+                "pass backend= to the model constructor when supplying a "
+                "DiffusionModel instance"
+            )
         return model
+    if model is None:
+        factory = MFCModel
+    else:
+        try:
+            factory = MODEL_REGISTRY[model]
+        except (KeyError, TypeError):
+            raise ConfigError(
+                f"unknown diffusion model {model!r}; expected a DiffusionModel "
+                f"instance or one of {sorted(MODEL_REGISTRY)}"
+            ) from None
+    if backend is None:
+        return factory()
     try:
-        factory = MODEL_REGISTRY[model]
-    except (KeyError, TypeError):
+        return factory(backend=backend)
+    except TypeError:
         raise ConfigError(
-            f"unknown diffusion model {model!r}; expected a DiffusionModel "
-            f"instance or one of {sorted(MODEL_REGISTRY)}"
+            f"diffusion model {getattr(factory, 'name', factory.__name__)!r} "
+            "does not run on the cascade kernel and takes no backend="
         ) from None
-    return factory()
 
 
 def infected_snapshot(graph: SignedDiGraph, snapshot: Snapshot) -> SignedDiGraph:
@@ -128,6 +145,7 @@ def detect(
     config: Optional[RIDConfig] = None,
     detector: Optional[Detector] = None,
     budget: Optional[int] = None,
+    backend: Optional[str] = None,
     runtime: Optional[RuntimeConfig] = None,
     recorder: Optional[Recorder] = None,
 ) -> DetectionResult:
@@ -143,6 +161,10 @@ def detect(
             the :class:`~repro.core.baselines.Detector` protocol).
         budget: when given, detect exactly this many initiators via
             ``detect_with_budget`` (RID's exact knapsack).
+        backend: kernel execution backend for RID's TreeDP stage
+            (``'python'``, ``'numpy'``, ``'auto'``; see
+            :mod:`repro.kernel.backends`). Shorthand for
+            ``RIDConfig(backend=...)``; incompatible with ``detector=``.
         runtime: execution configuration for detectors that support it
             (RID fans per-component/per-tree work units over the process
             pool and persists stage artifacts under ``cache_dir``);
@@ -155,9 +177,14 @@ def detect(
         states (where the detector provides them), and cascade trees.
     """
     if detector is None:
-        detector = RID(config or RIDConfig())
+        config = config or RIDConfig()
+        if backend is not None:
+            config = dataclasses.replace(config, backend=backend)
+        detector = RID(config)
     elif config is not None:
         raise ConfigError("pass either config= (for RID) or detector=, not both")
+    elif backend is not None:
+        raise ConfigError("backend= configures RID; pass it to your detector instead")
     rec = resolve_recorder(recorder)
     with using_recorder(rec):
         infected = infected_snapshot(graph, snapshot)
@@ -176,6 +203,7 @@ def simulate(
     seeds: Dict[Node, NodeState],
     *,
     model: Union[DiffusionModel, str, None] = None,
+    backend: Optional[str] = None,
     trials: Optional[int] = None,
     rng: RandomSource = 0,
     runtime: Optional[RuntimeConfig] = None,
@@ -189,6 +217,9 @@ def simulate(
         model: a :class:`~repro.diffusion.base.DiffusionModel` instance
             or a registry name (``'mfc'``, ``'ic'``, ``'lt'``, ``'sir'``,
             ``'voter'``, ``'pic'``); default MFC with paper parameters.
+        backend: kernel execution backend for registry-name models that
+            run on the cascade kernel (``'mfc'``/``'ic'``); pass it to
+            the constructor instead when supplying a model instance.
         trials: ``None`` runs one cascade and returns its
             :class:`DiffusionResult`; an integer runs that many
             independent cascades (deterministic derived seeds, optional
@@ -199,7 +230,7 @@ def simulate(
         recorder: observability sink, installed as the ambient recorder
             for the whole call.
     """
-    resolved = _resolve_model(model)
+    resolved = _resolve_model(model, backend)
     rec = resolve_recorder(recorder)
     with using_recorder(rec):
         if trials is None:

@@ -67,6 +67,12 @@ class RIDConfig:
         prune_inconsistent: drop sign-inconsistent links before component
             detection and tree extraction (Sec. III-E1's "pruned"
             network; such links cannot be activation links).
+        backend: kernel execution backend for the TreeDP stage
+            (``'python'``, ``'numpy'``, ``'auto'``, or ``None`` for the
+            ``REPRO_KERNEL_BACKEND`` environment default; see
+            :mod:`repro.kernel.backends`). Both TreeDP backends are
+            bit-identical, but cached stage artifacts are still keyed by
+            the resolved backend.
     """
 
     alpha: float = 3.0
@@ -76,9 +82,18 @@ class RIDConfig:
     max_k_per_tree: Optional[int] = None
     inconsistent_value: float = 0.0
     prune_inconsistent: bool = True
+    backend: Optional[str] = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` on out-of-range settings."""
+        if self.backend is not None:
+            from repro.kernel.backends import VALID_BACKENDS
+
+            if self.backend not in VALID_BACKENDS:
+                raise ConfigError(
+                    f"backend must be one of {list(VALID_BACKENDS)} or None, "
+                    f"got {self.backend!r}"
+                )
         if self.alpha < 1.0:
             raise ConfigError(f"alpha must be >= 1, got {self.alpha}")
         if self.beta < 0.0:

@@ -90,11 +90,24 @@ class KIsomitBTSolver:
             original recursive dict-memo program (the identity oracle);
             that path needs CPython stack frames proportional to tree
             depth and is only safe on shallow trees.
+        backend: kernel execution backend (``'python'``, ``'numpy'``,
+            ``'auto'``; see :mod:`repro.kernel.backends`). ``None``
+            defers to the ``REPRO_KERNEL_BACKEND`` environment default.
+            Both TreeDP backends are bit-identical (the sweep consumes
+            no randomness and preserves float-expression order); only
+            kernel runs honour it (``use_kernel=False`` is inherently
+            the interpreted path).
     """
 
-    def __init__(self, tree: BinaryCascadeTree, use_kernel: bool = True) -> None:
+    def __init__(
+        self,
+        tree: BinaryCascadeTree,
+        use_kernel: bool = True,
+        backend: Optional[str] = None,
+    ) -> None:
         self.tree = tree
         self.use_kernel = use_kernel
+        self._backend = backend
         self._kernel: Optional[TreeDPKernel] = None
         # Number of real (initiator-eligible) nodes in each slot's subtree,
         # used to clamp budget splits: a subtree of real size s can never
@@ -234,8 +247,15 @@ class KIsomitBTSolver:
     def _get_kernel(self) -> TreeDPKernel:
         """Lazily compile the tree (so path-product-only users skip it)."""
         if self._kernel is None:
-            self._kernel = TreeDPKernel(self.tree)
+            self._kernel = TreeDPKernel(self.tree, backend=self._backend)
         return self._kernel
+
+    @property
+    def backend_name(self) -> str:
+        """The resolved backend name the kernel path runs on."""
+        if not self.use_kernel:
+            return "python"
+        return self._get_kernel().backend_name
 
     def solve(self, k: int) -> TreeDPResult:
         """Optimal placement of exactly ``k`` initiators in the tree.

@@ -37,19 +37,35 @@ class ICModel(DiffusionModel):
         use_kernel: run cascades through the CSR-compiled fast path of
             :mod:`repro.kernel` (the default); bit-identical to the
             reference loop, kept only as a debugging escape hatch.
+        backend: kernel execution backend (``'python'``, ``'numpy'``,
+            ``'auto'``; see :mod:`repro.kernel.backends`). ``None``
+            defers to the ``REPRO_KERNEL_BACKEND`` environment default.
     """
 
     name = "ic"
 
-    def __init__(self, propagate_signs: bool = True, use_kernel: bool = True) -> None:
+    def __init__(
+        self,
+        propagate_signs: bool = True,
+        use_kernel: bool = True,
+        backend: "str | None" = None,
+    ) -> None:
         self.propagate_signs = propagate_signs
         # Underscored so model_digest ignores it (paths share cache keys).
         self._use_kernel = bool(use_kernel)
+        # Underscored too, but special-cased by model_digest: statistical
+        # backends fork cache keys (see repro.kernel.backends).
+        self._backend = backend
 
     @property
     def use_kernel(self) -> bool:
         """True when ``run`` dispatches to the CSR kernel."""
         return self._use_kernel
+
+    @property
+    def backend(self) -> "str | None":
+        """The requested kernel backend (``None`` = environment default)."""
+        return self._backend
 
     def run(
         self,
@@ -65,7 +81,11 @@ class ICModel(DiffusionModel):
             validated = check_seeds(diffusion, seeds)
             random = spawn_rng(rng, self.name)
             return run_ic_compiled(
-                compile_graph(diffusion), validated, random, self.propagate_signs
+                compile_graph(diffusion),
+                validated,
+                random,
+                self.propagate_signs,
+                backend=self._backend,
             )
         validated, random, states, events = self._prepare(diffusion, seeds, rng)
         frontier = sorted_nodes(validated)
@@ -112,4 +132,6 @@ class ICModel(DiffusionModel):
 
         validated = check_seeds_compiled(compiled, seeds)
         random = spawn_rng(rng, self.name)
-        return run_ic_compiled(compiled, validated, random, self.propagate_signs)
+        return run_ic_compiled(
+            compiled, validated, random, self.propagate_signs, backend=self._backend
+        )

@@ -68,6 +68,12 @@ class MFCModel(DiffusionModel):
             bit-identical to the reference loop — same events, states,
             rounds, RNG consumption — so this is an escape hatch for
             debugging and cross-validation, not a behaviour switch.
+        backend: kernel execution backend (``'python'``, ``'numpy'``,
+            ``'auto'``; see :mod:`repro.kernel.backends`). ``None``
+            defers to the ``REPRO_KERNEL_BACKEND`` environment default.
+            The numpy backend is *statistically* identical, not
+            bit-identical — see the backend package docstring — so
+            trial-cache keys fork when a non-bit backend resolves.
 
     Raises:
         InvalidModelParameterError: on ``alpha < 1`` or bad max_rounds.
@@ -81,6 +87,7 @@ class MFCModel(DiffusionModel):
         allow_flips: bool = True,
         max_rounds: int = 1_000_000,
         use_kernel: bool = True,
+        backend: "str | None" = None,
     ) -> None:
         if not alpha >= 1.0:
             raise InvalidModelParameterError(
@@ -94,11 +101,19 @@ class MFCModel(DiffusionModel):
         # Underscored so model_digest ignores it: both paths produce
         # bit-identical results and must share trial-cache entries.
         self._use_kernel = bool(use_kernel)
+        # Also underscored, but model_digest special-cases it: a backend
+        # resolving to the statistical tier *does* fork cache keys.
+        self._backend = backend
 
     @property
     def use_kernel(self) -> bool:
         """True when ``run`` dispatches to the CSR kernel."""
         return self._use_kernel
+
+    @property
+    def backend(self) -> "str | None":
+        """The requested kernel backend (``None`` = environment default)."""
+        return self._backend
 
     def attempt_probability(self, diffusion: SignedDiGraph, u: Node, v: Node) -> float:
         """Probability that ``u``'s single attempt on ``v`` succeeds."""
@@ -134,6 +149,7 @@ class MFCModel(DiffusionModel):
                 alpha=self.alpha,
                 allow_flips=self.allow_flips,
                 max_rounds=self.max_rounds,
+                backend=self._backend,
             )
         validated, random, states, events = self._prepare(diffusion, seeds, rng)
         recently_infected = sorted_nodes(validated)
@@ -218,4 +234,5 @@ class MFCModel(DiffusionModel):
             alpha=self.alpha,
             allow_flips=self.allow_flips,
             max_rounds=self.max_rounds,
+            backend=self._backend,
         )

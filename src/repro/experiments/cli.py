@@ -21,6 +21,7 @@ Observability (see :mod:`repro.obs` and docs/observability.md):
 from __future__ import annotations
 
 import argparse
+import os
 from typing import Optional, Sequence
 
 from repro.experiments import (
@@ -90,6 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the on-disk trial cache (default: no caching)",
     )
     parser.add_argument(
+        "--backend",
+        choices=("python", "numpy", "auto"),
+        default=None,
+        help="kernel execution backend for cascades and the TreeDP stage "
+        "(sets REPRO_KERNEL_BACKEND for this run; default: env or "
+        "bit-identical python)",
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help="collect per-stage counters and timings and print a report "
@@ -136,6 +145,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     runtime = RuntimeConfig(workers=args.workers, cache_dir=args.cache_dir)
     runtime.validate()
+    if args.backend is not None:
+        # The env var is the one switch every entry point (and every
+        # worker process, which inherits the environment) honours.
+        os.environ["REPRO_KERNEL_BACKEND"] = args.backend
 
     metrics_recorder = MetricsRecorder() if args.metrics else None
     trace_recorder = TraceRecorder() if args.trace_out else None

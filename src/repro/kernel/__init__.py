@@ -32,8 +32,21 @@ post-order arrays (:func:`compile_binary_tree` →
 dynamic program as a single iterative sweep
 (:class:`TreeDPKernel` / :func:`solve_k_isomit_bt_compiled`),
 bit-identical to the recursive reference solver.
+
+*How* the compiled arrays are swept is selectable:
+:mod:`repro.kernel.backends` dispatches between the interpreted
+``python`` loops (bit-identical tier, zero dependencies, the default)
+and an optional vectorized ``numpy`` backend (statistical-identity tier
+for cascades, bit-identical TreeDP sweeps). See that package's
+docstring and ``docs/algorithms.md`` §12.
 """
 
+from repro.kernel.backends import (
+    available_backends,
+    default_backend_name,
+    numpy_available,
+    resolve_backend,
+)
 from repro.kernel.compile import CompiledGraph, compile_graph
 from repro.kernel.cascade import (
     check_seeds_compiled,
@@ -59,4 +72,8 @@ __all__ = [
     "compile_binary_tree",
     "solve_curve_compiled",
     "solve_k_isomit_bt_compiled",
+    "available_backends",
+    "default_backend_name",
+    "numpy_available",
+    "resolve_backend",
 ]

@@ -100,21 +100,41 @@ def _materialise(
     """
     nodes = compiled.nodes
     decode = _DECODE
+    event = ActivationEvent
+    append = events.append
     final_states = dict(validated)
     for round_index, u, v, s, was_flip in log:
         state = decode[s]
-        final_states[nodes[v]] = state
-        events.append(
-            ActivationEvent(
-                round=round_index,
-                source=nodes[u],
-                target=nodes[v],
-                state=state,
-                was_flip=was_flip,
-            )
-        )
+        target = nodes[v]
+        final_states[target] = state
+        append(event(round_index, nodes[u], target, state, was_flip))
     return DiffusionResult(
         seeds=validated, final_states=final_states, events=events, rounds=rounds
+    )
+
+
+def _finalise(
+    compiled: CompiledGraph,
+    validated: Dict[Node, NodeState],
+    states: bytearray,
+    rounds: int,
+) -> DiffusionResult:
+    """Trace-free result: final states scanned straight off the state array.
+
+    Used when the caller disabled event recording
+    (``record_events=False``). ``final_states`` compares equal to the
+    recorded run's dict (dict equality ignores insertion order, which
+    here is node-index order rather than the reference's activation
+    order); ``events`` is empty by contract.
+    """
+    nodes = compiled.nodes
+    decode = _DECODE
+    final_states = {}
+    for i, s in enumerate(states):
+        if s:
+            final_states[nodes[i]] = decode[s]
+    return DiffusionResult(
+        seeds=validated, final_states=final_states, events=[], rounds=rounds
     )
 
 
@@ -125,6 +145,7 @@ def _mfc_cascade(
     alpha: float,
     allow_flips: bool,
     max_rounds: int,
+    record_events: bool = True,
 ) -> Tuple[DiffusionResult, bytearray]:
     """The bare MFC loop, exactly the pre-observability kernel fast path.
 
@@ -177,6 +198,8 @@ def _mfc_cascade(
         fresh.sort()
         frontier = fresh
 
+    if not record_events:
+        return _finalise(compiled, validated, states, rounds), tried
     return _materialise(compiled, validated, events, log, rounds), tried
 
 
@@ -184,19 +207,29 @@ def _record_cascade(
     recorder: Recorder,
     prefix: str,
     result: DiffusionResult,
-    tried: bytearray,
+    tried,
     seconds: float,
+    backend: str = "python",
 ) -> None:
-    """Fold one cascade's counters into ``recorder`` (post-run, O(m))."""
-    flips = sum(1 for event in result.events if event.was_flip)
-    activations = len(result.events) - len(result.seeds) - flips
+    """Fold one cascade's counters into ``recorder`` (post-run, O(m)).
+
+    ``tried`` is either the python backend's per-slot attempt flags or a
+    backend's pre-summed attempt count. Trace-free results
+    (``record_events=False``) carry no events, so the trace-derived
+    ``activations``/``flips`` counters are skipped rather than reported
+    as zero.
+    """
     recorder.incr(f"{prefix}.cascades")
+    recorder.incr(f"{prefix}.backend.{backend}")
     recorder.incr(f"{prefix}.rounds", result.rounds)
     # Every tried slot is one RNG roll on one distinct (u, v) edge — the
     # kernel's unit of work ("edges touched").
-    recorder.incr(f"{prefix}.attempts", sum(tried))
-    recorder.incr(f"{prefix}.activations", activations)
-    recorder.incr(f"{prefix}.flips", flips)
+    recorder.incr(f"{prefix}.attempts", tried if isinstance(tried, int) else sum(tried))
+    if result.events:
+        flips = sum(1 for event in result.events if event.was_flip)
+        activations = len(result.events) - len(result.seeds) - flips
+        recorder.incr(f"{prefix}.activations", activations)
+        recorder.incr(f"{prefix}.flips", flips)
     recorder.gauge(f"{prefix}.infected", float(len(result.final_states)))
     recorder.timing(f"{prefix}.cascade", seconds)
 
@@ -209,6 +242,8 @@ def run_mfc_compiled(
     allow_flips: bool,
     max_rounds: int,
     recorder: Optional[Recorder] = None,
+    backend: Optional[str] = None,
+    record_events: bool = True,
 ) -> DiffusionResult:
     """MFC (paper Algorithm 1) over the CSR arrays.
 
@@ -217,23 +252,52 @@ def run_mfc_compiled(
     ``check_seeds`` first, preserving the reference's validate-then-
     spawn-RNG order).
 
+    ``backend`` picks the execution backend (see
+    :mod:`repro.kernel.backends`); ``None`` defers to the
+    ``REPRO_KERNEL_BACKEND`` env default, which is the bit-identical
+    interpreted path.
+
+    ``record_events=False`` returns a trace-free result: ``events`` is
+    empty and ``final_states`` is scanned off the state array (equal as
+    a dict to the recorded run's, in node-index rather than activation
+    order). Monte-Carlo spread estimation reads only ``final_states``,
+    and on large graphs event materialisation is a fixed per-cascade
+    cost both backends share — skipping it is the cheap path for
+    estimate-only workloads.
+
     With an enabled ``recorder`` (explicit or ambient via
     :func:`repro.obs.using_recorder`), per-cascade counters
-    (``kernel.mfc.rounds/attempts/activations/flips``) and a
-    ``kernel.mfc.cascade`` timer are recorded; the default
+    (``kernel.mfc.rounds/attempts/activations/flips`` plus a
+    ``kernel.mfc.backend.<name>`` marker) and a ``kernel.mfc.cascade``
+    timer are recorded; the default
     :class:`~repro.obs.recorder.NullRecorder` costs one branch per
     cascade and nothing inside the hot loop.
     """
     rec = resolve_recorder(recorder)
+    engine = _backends.resolve_backend(backend)
     if not rec.enabled:
-        return _mfc_cascade(
-            compiled, validated, random, alpha, allow_flips, max_rounds
+        return engine.mfc_cascade(
+            compiled,
+            validated,
+            random,
+            alpha,
+            allow_flips,
+            max_rounds,
+            record_events=record_events,
         )[0]
     start = _time.perf_counter()
-    result, tried = _mfc_cascade(
-        compiled, validated, random, alpha, allow_flips, max_rounds
+    result, tried = engine.mfc_cascade(
+        compiled,
+        validated,
+        random,
+        alpha,
+        allow_flips,
+        max_rounds,
+        record_events=record_events,
     )
-    _record_cascade(rec, "kernel.mfc", result, tried, _time.perf_counter() - start)
+    _record_cascade(
+        rec, "kernel.mfc", result, tried, _time.perf_counter() - start, engine.name
+    )
     return result
 
 
@@ -242,6 +306,7 @@ def _ic_cascade(
     validated: Dict[Node, NodeState],
     random: _random.Random,
     propagate_signs: bool,
+    record_events: bool = True,
 ) -> Tuple[DiffusionResult, bytearray]:
     """The bare IC loop (uninstrumented twin of :func:`_mfc_cascade`)."""
     indptr, targets, weights = compiled.hot_rows()
@@ -276,6 +341,8 @@ def _ic_cascade(
         fresh.sort()
         frontier = fresh
 
+    if not record_events:
+        return _finalise(compiled, validated, states, rounds), tried
     return _materialise(compiled, validated, events, log, rounds), tried
 
 
@@ -285,17 +352,33 @@ def run_ic_compiled(
     random: _random.Random,
     propagate_signs: bool,
     recorder: Optional[Recorder] = None,
+    backend: Optional[str] = None,
+    record_events: bool = True,
 ) -> DiffusionResult:
     """Independent Cascade over the CSR arrays (sign-blind probabilities).
 
-    Observability mirrors :func:`run_mfc_compiled`, under the
-    ``kernel.ic.*`` names (IC has no flips, so ``kernel.ic.flips`` stays
-    zero).
+    Observability, backend selection and the ``record_events`` toggle
+    mirror :func:`run_mfc_compiled`, under the ``kernel.ic.*`` names
+    (IC has no flips, so ``kernel.ic.flips`` stays zero).
     """
     rec = resolve_recorder(recorder)
+    engine = _backends.resolve_backend(backend)
     if not rec.enabled:
-        return _ic_cascade(compiled, validated, random, propagate_signs)[0]
+        return engine.ic_cascade(
+            compiled, validated, random, propagate_signs, record_events=record_events
+        )[0]
     start = _time.perf_counter()
-    result, tried = _ic_cascade(compiled, validated, random, propagate_signs)
-    _record_cascade(rec, "kernel.ic", result, tried, _time.perf_counter() - start)
+    result, tried = engine.ic_cascade(
+        compiled, validated, random, propagate_signs, record_events=record_events
+    )
+    _record_cascade(
+        rec, "kernel.ic", result, tried, _time.perf_counter() - start, engine.name
+    )
     return result
+
+
+# Imported last: repro.kernel.backends itself imports nothing from this
+# module at import time (the python backend binds _mfc_cascade/_ic_cascade
+# lazily in its constructor), but keeping the import at the bottom makes
+# the no-cycle property explicit.
+from repro.kernel import backends as _backends  # noqa: E402

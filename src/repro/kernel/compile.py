@@ -58,6 +58,7 @@ class CompiledGraph:
         "_prob_cache",
         "_hot",
         "_prob_list_cache",
+        "_np",
     )
 
     def __init__(
@@ -80,6 +81,7 @@ class CompiledGraph:
         self._prob_cache: Dict[float, array] = {}
         self._hot = None
         self._prob_list_cache: Dict[float, List[float]] = {}
+        self._np = None  # numpy-backend array views (see repro.kernel.backends)
 
     def __repr__(self) -> str:
         return f"<CompiledGraph: {self.num_nodes} nodes, {self.num_edges} edges>"
@@ -162,6 +164,7 @@ class CompiledGraph:
         self.num_edges = len(self.targets)
         self._hot = None
         self._prob_list_cache = {}
+        self._np = None
 
 
 #: Per-graph-instance compile cache: graph → (structure_version, compiled).

@@ -57,6 +57,30 @@ from repro.types import Node, NodeState
 _NEG_INF = float("-inf")
 
 
+def _decision_typecode(cap: int) -> str:
+    """Smallest signed ``array`` typecode holding every packed decision.
+
+    A decision packs a split ``m <= cap`` as ``(m << 1) | initiator``,
+    so the peak stored value is ``2 * cap + 1``. Typecode widths are
+    platform-defined (``'l'`` is 4 bytes on some ABIs), so the guard
+    asks each candidate for its actual ``itemsize`` instead of assuming
+    — silent C-level wraparound here would corrupt reconstruction, not
+    raise.
+
+    Raises:
+        DynamicProgramError: when no stdlib typecode can hold the peak
+            (budgets beyond ``2**62`` — unreachable in practice, but
+            loud beats wrong).
+    """
+    peak = 2 * cap + 1
+    for code in ("h", "l", "q"):
+        if peak < 1 << (8 * array(code).itemsize - 1):
+            return code
+    raise DynamicProgramError(
+        f"budget cap {cap} overflows every supported decision typecode"
+    )
+
+
 class CompiledBinaryTree:
     """Flat post-order snapshot of a binarised cascade tree.
 
@@ -216,7 +240,7 @@ class TreeDPKernel:
             exported as the ``rid.tree_dp.memo_states`` gauge.
     """
 
-    def __init__(self, tree) -> None:
+    def __init__(self, tree, backend: Optional[str] = None) -> None:
         if isinstance(tree, CompiledBinaryTree):
             self.tree = tree
         else:
@@ -225,6 +249,9 @@ class TreeDPKernel:
         self._dec: List[Optional[List[array]]] = []
         self._root_scores: List[float] = []
         self.memo_states = 0
+        self._engine = _backends.resolve_backend(backend)
+        #: resolved backend executing the sweeps (``python`` / ``numpy``).
+        self.backend_name = self._engine.name
 
     # ------------------------------------------------------------------
 
@@ -240,6 +267,19 @@ class TreeDPKernel:
         self._sweep(target)
 
     def _sweep(self, cap: int) -> None:
+        """Fill the DP tables up to budget ``cap`` via the selected backend.
+
+        Both backends produce bit-identical scores and decisions (the DP
+        draws no randomness and the vectorized sweep preserves every
+        float expression's evaluation order), so sweeps are
+        interchangeable mid-search.
+        """
+        if self._engine.name == "python":
+            self._sweep_python(cap)
+        else:
+            self._engine.tree_sweep(self, cap)
+
+    def _sweep_python(self, cap: int) -> None:
         """Fill every per-node ``[budget][ancestor-depth]`` table for budgets ``0..cap``.
 
         The anc axis maps slot 0 to "no initiator ancestor" and slot
@@ -252,7 +292,7 @@ class TreeDPKernel:
         left, right, depth = ct.left, ct.right, ct.depth
         real_size, is_dummy, gpath = ct.real_size, ct.is_dummy, ct.gpath
         neg_inf = _NEG_INF
-        typecode = "h" if cap < 2 ** 14 else "l"
+        typecode = _decision_typecode(cap)
         scores: List[Optional[List[List[float]]]] = [None] * n
         dec: List[Optional[List[array]]] = [None] * n
         states = 0
@@ -433,3 +473,8 @@ def solve_k_isomit_bt_compiled(tree, k: int) -> "TreeDPResult":
 def solve_curve_compiled(tree, k_max: int) -> List["TreeDPResult"]:
     """One-shot compiled curve solve over budgets ``1..k_max``."""
     return TreeDPKernel(tree).solve_curve(k_max)
+
+
+# Bottom import, matching repro.kernel.cascade (no cycle: the backends
+# package never imports kernel modules at import time).
+from repro.kernel import backends as _backends  # noqa: E402

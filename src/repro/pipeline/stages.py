@@ -106,6 +106,22 @@ def _emit_memo_gauge(rec: Recorder, solver: "Any") -> None:
         rec.gauge("rid.tree_dp.memo_states", memo_size())
 
 
+def _make_solver(rid_module: "Any", binary: "Any", config: "Any") -> "Any":
+    """Build the per-tree DP solver through the ``rid_module`` seam.
+
+    The config's ``backend`` is forwarded when the (possibly
+    monkeypatched) solver class accepts it; minimal DP stubs predate the
+    keyword and are constructed the old way.
+    """
+    backend = getattr(config, "backend", None)
+    if backend is not None:
+        try:
+            return rid_module.KIsomitBTSolver(binary, backend=backend)
+        except TypeError:
+            pass
+    return rid_module.KIsomitBTSolver(binary)
+
+
 def greedy_tree_selection(
     config: "Any", tree: SignedDiGraph, recorder: Optional[Recorder] = None
 ) -> "Any":
@@ -119,7 +135,7 @@ def greedy_tree_selection(
 
     rec = resolve_recorder(recorder)
     binary = binarize_tree(config, tree, rec)
-    solver = rid_module.KIsomitBTSolver(binary)
+    solver = _make_solver(rid_module, binary, config)
     max_k = _tree_cap(config, binary)
 
     best = None
@@ -129,6 +145,7 @@ def greedy_tree_selection(
         "rid.tree_dp",
         tree_nodes=binary.num_real,
         compiled=bool(getattr(solver, "use_kernel", False)),
+        backend=getattr(solver, "backend_name", "python"),
     ):
         for k in range(1, max_k + 1):
             scanned += 1
@@ -163,7 +180,7 @@ def tree_curve(
 
     rec = resolve_recorder(recorder)
     binary = binarize_tree(config, tree, rec)
-    solver = rid_module.KIsomitBTSolver(binary)
+    solver = _make_solver(rid_module, binary, config)
     cap = _tree_cap(config, binary)
     # The compiled solver produces the whole incremental curve from one
     # post-order sweep; fall back to a per-k loop for solvers without
@@ -173,6 +190,7 @@ def tree_curve(
         "rid.tree_dp",
         tree_nodes=binary.num_real,
         compiled=bool(getattr(solver, "use_kernel", False)),
+        backend=getattr(solver, "backend_name", "python"),
     ):
         if solve_curve is not None:
             per_k = solve_curve(cap)
@@ -262,10 +280,16 @@ class TreeDPStage(Stage):
     Version 2: the DP runs on the compiled flat-array kernel by default
     (bit-identical output, but the bump keeps cache keys disjoint from
     artifacts computed by the recursive pre-kernel code).
+
+    Version 3: the kernel sweep is backend-dispatched
+    (:mod:`repro.kernel.backends`) and the *resolved* backend name is
+    folded into the config digest, so artifacts computed by different
+    backends never share a key even though both sweeps are
+    bit-identical — conservative, and it keeps cache forensics honest.
     """
 
     persist = True
-    version = 2
+    version = 3
 
     def __init__(self, mode: str) -> None:
         if mode not in ("greedy", "curve"):
@@ -274,7 +298,15 @@ class TreeDPStage(Stage):
         self.name = f"tree_dp[{mode}]"
 
     def config_digest(self, config: "Any") -> str:
-        common = (config.alpha, config.inconsistent_value, config.max_k_per_tree)
+        from repro.kernel.backends import resolve_backend
+
+        backend = resolve_backend(getattr(config, "backend", None)).name
+        common = (
+            config.alpha,
+            config.inconsistent_value,
+            config.max_k_per_tree,
+            backend,
+        )
         if self.mode == "greedy":
             return stable_digest(self.name, *common, config.beta, config.k_strategy)
         return stable_digest(self.name, *common)

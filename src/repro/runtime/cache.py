@@ -17,6 +17,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -40,6 +41,37 @@ def stable_digest(*parts: object) -> str:
     return hashlib.blake2b(material, digest_size=16).hexdigest()
 
 
+#: Graph types already warned about for lacking a ``version`` counter.
+_UNMEMOIZED_WARNED: set = set()
+
+
+def _warn_unmemoized_digest(graph: object) -> None:
+    """Flag (once per type) a graph that defeats digest memoization.
+
+    Every :func:`graph_digest` call on such a graph re-sorts and
+    re-hashes all ``V + E`` items. That is silent O(V + E) work per
+    cached-run lookup — visible only as mysteriously slow cache hits —
+    so it warrants a :class:`RuntimeWarning` the first time plus a
+    ``runtime.digest_unmemoized`` counter every time (the ambient
+    recorder is a no-op ``NullRecorder`` unless observability is on).
+    """
+    from repro.obs.recorder import current_recorder
+
+    recorder = current_recorder()
+    if recorder.enabled:
+        recorder.incr("runtime.digest_unmemoized")
+    kind = type(graph)
+    if kind not in _UNMEMOIZED_WARNED:
+        _UNMEMOIZED_WARNED.add(kind)
+        warnings.warn(
+            f"{kind.__name__} has no 'version' mutation counter; every "
+            "graph_digest call re-hashes all nodes and edges instead of "
+            "memoizing",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
 def graph_digest(graph: SignedDiGraph) -> str:
     """Digest of a graph's full content (topology, signs, weights, states).
 
@@ -54,6 +86,8 @@ def graph_digest(graph: SignedDiGraph) -> str:
         cached = getattr(graph, "_digest_cache", None)
         if cached is not None and cached[0] == version:
             return cached[1]
+    else:
+        _warn_unmemoized_digest(graph)
     h = hashlib.blake2b(digest_size=16)
     for node in sorted(graph.nodes(), key=repr):
         h.update(repr((node, int(graph.state(node)))).encode("utf-8"))
@@ -71,6 +105,14 @@ def model_digest(model: object) -> str:
     Underscored attributes are excluded: they hold execution details —
     e.g. the models' ``_use_kernel`` dispatch flag, whose two settings
     produce bit-identical cascades — that must not fork cache keys.
+
+    One exception: a kernel ``_backend`` selection that resolves to a
+    backend outside the bit-identical tier (the numpy cascade backend
+    consumes randomness in a different order, so its trials are drawn
+    from the same distribution but are not the same numbers) **is**
+    folded in, as ``('backend', <resolved name>)``. Bit-tier selections
+    (``'python'``, or any value with numpy absent) leave the digest
+    unchanged, so the default configuration keeps its historical keys.
     """
     name = getattr(model, "name", type(model).__name__)
     params = tuple(
@@ -78,6 +120,13 @@ def model_digest(model: object) -> str:
             (k, repr(v)) for k, v in vars(model).items() if not k.startswith("_")
         )
     )
+    backend = getattr(model, "_backend", None)
+    if backend is not None:
+        from repro.kernel.backends import BIT_IDENTICAL, resolve_backend
+
+        engine = resolve_backend(backend)
+        if engine.tier != BIT_IDENTICAL:
+            params = params + (("backend", engine.name),)
     return stable_digest(name, params)
 
 

@@ -100,13 +100,48 @@ def _run_chunk(
     return out, (recorder.metrics if recorder is not None else None)
 
 
-def _picklable(*objects: Any) -> bool:
+#: Payload pickling probes, keyed by object identity. Entries hold a
+#: strong reference to the probed payload so an ``id()`` can never be
+#: recycled while its entry is live; the table is cleared (not evicted
+#: LRU-style — probes are cheap enough to redo) once it fills up.
+_PICKLE_PROBE_MEMO: dict = {}
+_PICKLE_PROBE_LIMIT = 64
+
+
+def _probe_picklable(obj: Any) -> bool:
+    """True when ``obj`` survives ``pickle.dumps``.
+
+    Only the exceptions pickle actually raises for unpicklable values
+    (``PicklingError``, plus the ``TypeError``/``AttributeError`` that
+    escape from lambdas, local classes and closed-over handles) are
+    treated as "run serially"; anything else — a broken ``__reduce__``,
+    a ``RecursionError`` — is a genuine bug and propagates.
+    """
     try:
-        for obj in objects:
-            pickle.dumps(obj)
+        pickle.dumps(obj)
         return True
-    except Exception:
+    except (pickle.PicklingError, TypeError, AttributeError):
         return False
+
+
+def _picklable(fn: Any, payload: Any, specs: Any) -> bool:
+    """Can ``(fn, payload, specs)`` be shipped to worker processes?
+
+    The payload probe is memoized per payload *identity*: sweeps and
+    repeated runs fan out the same (potentially large) graph/model
+    payload many times, and each probe re-pickles all of it. ``fn`` is a
+    module-level callable (pickled by reference, cheap) and the specs
+    are small and change per call, so they are probed fresh.
+    """
+    entry = _PICKLE_PROBE_MEMO.get(id(payload))
+    if entry is not None and entry[0] is payload:
+        payload_ok = entry[1]
+    else:
+        payload_ok = _probe_picklable(payload)
+        if len(_PICKLE_PROBE_MEMO) >= _PICKLE_PROBE_LIMIT:
+            _PICKLE_PROBE_MEMO.clear()
+        _PICKLE_PROBE_MEMO[id(payload)] = (payload, payload_ok)
+    return payload_ok and _probe_picklable(fn) and _probe_picklable(specs)
 
 
 def run_trials(
@@ -183,6 +218,8 @@ def run_trials(
             fallback_reason = "single trial"
         elif not _picklable(fn, payload, [spec for _, spec in pending]):
             fallback_reason = "inputs not picklable"
+            if rec.enabled:
+                rec.incr("runtime.pickle_fallback")
 
         observe = rec.enabled
         if fallback_reason is None:
