@@ -28,7 +28,7 @@ Quickstart (the stable facade — see :mod:`repro.api`)::
     detected = repro.detect(diffusion, cascade)
 """
 
-from repro.api import detect, evaluate, simulate
+from repro.api import detect, detect_stream, evaluate, simulate
 from repro.core.baselines import (
     DetectionResult,
     Detector,
@@ -63,6 +63,12 @@ from repro.obs import (
 )
 from repro.pipeline import ArtifactCache, DetectionEngine
 from repro.runtime import RuntimeConfig, TrialReport
+from repro.stream import (
+    SnapshotDelta,
+    StreamingDetectionEngine,
+    read_event_log,
+    write_event_log,
+)
 from repro.types import NodeState, Sign
 from repro.weights import assign_jaccard_weights
 
@@ -70,8 +76,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "detect",
+    "detect_stream",
     "simulate",
     "evaluate",
+    "SnapshotDelta",
+    "StreamingDetectionEngine",
+    "read_event_log",
+    "write_event_log",
     "Recorder",
     "NullRecorder",
     "MetricsRecorder",

@@ -107,6 +107,29 @@ class DynamicProgramError(DetectionError):
 
 
 # --------------------------------------------------------------------------
+# Streaming re-detection
+# --------------------------------------------------------------------------
+
+
+class StreamError(ReproError):
+    """Base class for errors from the streaming re-detection layer."""
+
+
+class EventLogFormatError(StreamError, ValueError):
+    """A streamed event log (JSONL) is malformed or uses an unknown record."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class DeltaApplicationError(StreamError, ValueError):
+    """A snapshot delta references state the live snapshot does not have."""
+
+
+# --------------------------------------------------------------------------
 # Complexity tooling (set-cover reduction)
 # --------------------------------------------------------------------------
 

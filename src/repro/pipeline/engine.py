@@ -211,17 +211,30 @@ class DetectionEngine:
         else:
             pruned = infected
         pieces = self.split.execute(ctx, pruned, graph_digest(pruned))
+        return self.forest_from_components(ctx, pieces)
+
+    def forest_from_components(
+        self, ctx: StageContext, components: Sequence[SignedDiGraph]
+    ) -> List[SignedDiGraph]:
+        """Extract every component's cascade trees (cached, fan-out).
+
+        The back half of :meth:`extract_forest`, exposed for callers
+        that already hold the component partition — the streaming layer
+        (:mod:`repro.stream`) maintains it incrementally and skips the
+        whole-graph Prune/ComponentSplit passes entirely.
+        """
         per_component = self._batched(
             ctx,
             self.arborescence,
-            pieces,
+            components,
             payload=ctx.config,
             worker=_component_trees_unit,
             label="rid.arborescence",
         )
         trees = [tree for component_trees in per_component for tree in component_trees]
+        rec = ctx.recorder
         if rec.enabled:
-            rec.incr("rid.components", len(pieces))
+            rec.incr("rid.components", len(components))
             rec.incr("rid.trees", len(trees))
         return trees
 
@@ -241,8 +254,18 @@ class DetectionEngine:
         """β-penalised detection over the full stage graph."""
         config.validate()
         ctx = self._context(config, recorder, runtime)
-        rec = ctx.recorder
         trees = self.extract_forest(ctx, infected)
+        return self._greedy_outcome(ctx, config, trees, label)
+
+    def _greedy_outcome(
+        self,
+        ctx: StageContext,
+        config: Any,
+        trees: List[SignedDiGraph],
+        label: Optional[str],
+    ) -> EngineOutcome:
+        """Back half of β-mode detection: per-tree DP + greedy merge."""
+        rec = ctx.recorder
         selections = self._batched(
             ctx,
             self.greedy_dp,
@@ -283,25 +306,41 @@ class DetectionEngine:
         """
         config.validate()
         ctx = self._context(config, recorder, runtime)
-        rec = ctx.recorder
         if infected.number_of_nodes() == 0:
             if budget != 0:
                 raise ConfigError(
                     "budget must be in [0, 0] (the infected network is empty), "
                     f"got {budget}"
                 )
-            result = DetectionResult(
-                method=label if label is not None else "rid(k=0)",
-                initiators=set(),
-                states={},
-                trees=[],
-                objective=0.0,
-            )
-            return EngineOutcome(result=result, selections=[])
+            return self._empty_budget_outcome(label)
         trees = self.extract_forest(ctx, infected)
-        if budget < len(trees) or budget > infected.number_of_nodes():
+        return self._budget_outcome(
+            ctx, config, trees, budget, infected.number_of_nodes(), label
+        )
+
+    def _empty_budget_outcome(self, label: Optional[str]) -> EngineOutcome:
+        result = DetectionResult(
+            method=label if label is not None else "rid(k=0)",
+            initiators=set(),
+            states={},
+            trees=[],
+            objective=0.0,
+        )
+        return EngineOutcome(result=result, selections=[])
+
+    def _budget_outcome(
+        self,
+        ctx: StageContext,
+        config: Any,
+        trees: List[SignedDiGraph],
+        budget: int,
+        total_nodes: int,
+        label: Optional[str],
+    ) -> EngineOutcome:
+        """Back half of budget mode: per-tree curves + cross-tree knapsack."""
+        if budget < len(trees) or budget > total_nodes:
             raise ConfigError(
-                f"budget must be in [{len(trees)}, {infected.number_of_nodes()}] "
+                f"budget must be in [{len(trees)}, {total_nodes}] "
                 f"({len(trees)} cascade trees were extracted), got {budget}"
             )
         curves: List[CurveArtifact] = self._batched(
@@ -345,3 +384,52 @@ class DetectionEngine:
             objective=best_total,
         )
         return EngineOutcome(result=result, selections=selections)
+
+    def detect_components(
+        self,
+        config: Any,
+        components: Sequence[SignedDiGraph],
+        *,
+        budget: Optional[int] = None,
+        label: Optional[str] = None,
+        recorder: Optional[Recorder] = None,
+        runtime: Optional[RuntimeConfig] = None,
+    ) -> EngineOutcome:
+        """Detection over a pre-split component partition.
+
+        The streaming layer maintains the infected-component partition
+        incrementally; this entry point skips the whole-graph Prune and
+        ComponentSplit stages and goes straight to the per-component
+        cached stages, so untouched components resolve to artifact-cache
+        hits. Output is bit-identical to :meth:`detect` /
+        :meth:`detect_with_budget` on the materialised snapshot as long
+        as ``components`` equals the cold pipeline's split (same member
+        sets, same live edges, same order).
+
+        Unlike :meth:`detect`, an empty partition is a well-formed input
+        here (an emptied infection mid-stream) and yields an empty
+        result rather than :class:`EmptyInfectionError`.
+        """
+        config.validate()
+        ctx = self._context(config, recorder, runtime)
+        if not components:
+            if budget is None:
+                result = DetectionResult(
+                    method=label if label is not None else f"rid(beta={config.beta})",
+                    initiators=set(),
+                    states={},
+                    trees=[],
+                    objective=0.0,
+                )
+                return EngineOutcome(result=result, selections=[])
+            if budget != 0:
+                raise ConfigError(
+                    "budget must be in [0, 0] (the infected network is empty), "
+                    f"got {budget}"
+                )
+            return self._empty_budget_outcome(label)
+        trees = self.forest_from_components(ctx, components)
+        if budget is None:
+            return self._greedy_outcome(ctx, config, trees, label)
+        total_nodes = sum(c.number_of_nodes() for c in components)
+        return self._budget_outcome(ctx, config, trees, budget, total_nodes, label)

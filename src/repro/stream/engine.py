@@ -1,0 +1,386 @@
+"""Incremental re-detection over a stream of snapshot deltas.
+
+The cold pipeline recomputes everything from the snapshot:
+
+    Prune -> ComponentSplit -> [per component] Arborescence
+          -> [per tree] Binarize+TreeDP -> Selection
+
+:class:`StreamingDetectionEngine` exploits that the expensive middle is
+*per component* and content-addressed. It holds the live network plus an
+incrementally maintained partition of the **active** nodes into infected
+components (connected via *live* edges — both endpoints active and, when
+the config prunes, sign-consistent, exactly the edges the cold Prune
+stage keeps). Applying a :class:`~repro.stream.delta.SnapshotDelta`:
+
+1. maps the touched nodes to their current components (the *dirty* set);
+2. re-runs a frontier-scoped BFS from the touched nodes and the dirty
+   components' members only — untouched components are never scanned;
+   components merged into by a new/resurrected live edge are absorbed on
+   contact (an untouched component is internally live-connected, so one
+   visited member implies the BFS covers all of it);
+3. rebuilds subgraphs for the re-discovered pieces; every untouched
+   component keeps its *same unmutated* ``SignedDiGraph`` object.
+
+Detection then goes through
+:meth:`~repro.pipeline.engine.DetectionEngine.detect_components`:
+untouched components resolve to memoized content digests (O(1) — the
+object's ``version`` counter is unchanged) and therefore to
+``ArtifactCache`` hits, so Arborescence/Binarize/TreeDP re-run only for
+dirty components and only the final Selection merge is global.
+
+**Identity guarantee.** After every applied delta, :meth:`detect` is
+bit-identical to a cold ``DetectionEngine`` run on
+:meth:`materialise`'s snapshot: the partition equals the cold
+Prune+ComponentSplit output (same member sets, same live edges, same
+smallest-member ordering), node insertion order is not semantically
+meaningful anywhere in the pipeline (all consumers sort; the on-disk
+artifact store already round-trips graphs through repr-sorted JSON), and
+reused artifacts are keyed by full content digests, so a hit can only
+return what the cold stage would recompute. Two deliberate divergences:
+the ``rid.pruned_links`` counter is not emitted (the streaming layer
+never materialises pruned-away edges), and an *emptied* infection
+yields a well-formed empty result where the cold entry point raises
+:class:`~repro.errors.EmptyInfectionError` — a stream that drains to
+zero is a normal state, not a caller bug.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.baselines import DetectionResult
+from repro.core.rid import RIDConfig
+from repro.graphs.signed_digraph import EdgeData, SignedDiGraph
+from repro.obs.recorder import Recorder, resolve_recorder, using_recorder
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.engine import DetectionEngine, EngineOutcome
+from repro.runtime.config import RuntimeConfig
+from repro.stream.delta import SnapshotDelta, apply_delta
+from repro.types import Node
+
+
+@dataclass
+class DeltaReport:
+    """What one applied delta did to the component partition."""
+
+    delta_index: int
+    touched_nodes: int
+    invalidated_components: int
+    recomputed_components: int
+    total_components: int
+
+
+@dataclass
+class StreamStep:
+    """One replay step: the partition update plus the re-detection."""
+
+    report: DeltaReport
+    result: DetectionResult
+    reused_artifacts: int
+    computed_artifacts: int
+
+
+class StreamingDetectionEngine:
+    """Maintains infected components across deltas; re-detects O(changed).
+
+    Args:
+        graph: the initial live network (any nodes/states; only active
+            nodes participate in detection). Copied by default so event
+            replay never mutates the caller's object.
+        config: RID hyper-parameters (validated eagerly).
+        engine: the staged pipeline to detect with; a private
+            :class:`DetectionEngine` with a roomy artifact cache by
+            default. Pass a shared engine to pool artifacts.
+        cache: shorthand for ``engine=DetectionEngine(cache=cache)``.
+        runtime: default execution configuration for :meth:`detect`.
+        copy: set False to adopt (and mutate) ``graph`` in place.
+
+    Example:
+        >>> eng = StreamingDetectionEngine(infected)        # doctest: +SKIP
+        >>> step = eng.step(delta)                          # doctest: +SKIP
+        >>> step.result.initiators                          # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        graph: Optional[SignedDiGraph] = None,
+        *,
+        config: Optional[RIDConfig] = None,
+        engine: Optional[DetectionEngine] = None,
+        cache: Optional[ArtifactCache] = None,
+        runtime: Optional[RuntimeConfig] = None,
+        copy: bool = True,
+    ) -> None:
+        self.config = config if config is not None else RIDConfig()
+        self.config.validate()
+        if engine is None:
+            engine = DetectionEngine(
+                cache=cache if cache is not None else ArtifactCache(max_entries=4096)
+            )
+        elif cache is not None:
+            raise ValueError("pass either engine= or cache=, not both")
+        self.engine = engine
+        self.runtime = runtime
+        if graph is None:
+            self.graph = SignedDiGraph(name="stream")
+        else:
+            self.graph = graph.copy() if copy else graph
+        self._prune = bool(self.config.prune_inconsistent)
+        self._comp_nodes: Dict[int, Set[Node]] = {}
+        self._comp_sub: Dict[int, SignedDiGraph] = {}
+        self._comp_key: Dict[int, str] = {}
+        self._comp_of: Dict[Node, int] = {}
+        self._next_id = 0
+        self._delta_count = 0
+        self.last_reused_artifacts = 0
+        self.last_computed_artifacts = 0
+        self.last_outcome: Optional[EngineOutcome] = None
+        self._rebuild_partition()
+
+    # ------------------------------------------------------------------
+    # Live-edge predicate and partition maintenance
+    # ------------------------------------------------------------------
+
+    def _edge_live(self, u: Node, v: Node, data: EdgeData) -> bool:
+        """True when the cold pipeline's pruned infected network keeps
+        this edge: both endpoints active, and (when pruning) the sign
+        consistency of Definition 5 holds."""
+        s_u = self.graph.state(u)
+        s_v = self.graph.state(v)
+        if not (s_u.is_active and s_v.is_active):
+            return False
+        if not self._prune:
+            return True
+        return int(s_u) * int(data.sign) == int(s_v)
+
+    def _live_neighbors(self, node: Node) -> Iterable[Node]:
+        for u, v, data in self.graph.out_edges(node):
+            if self._edge_live(u, v, data):
+                yield v
+        for u, v, data in self.graph.in_edges(node):
+            if self._edge_live(u, v, data):
+                yield u
+
+    def _bfs_component(self, start: Node, visited: Set[Node]) -> Set[Node]:
+        component: Set[Node] = {start}
+        visited.add(start)
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbor in self._live_neighbors(node):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        return component
+
+    def _build_subgraph(self, nodes: Set[Node]) -> SignedDiGraph:
+        """Materialise one component: its active nodes plus live edges.
+
+        Nodes are inserted repr-sorted — the library's canonical order,
+        matching the on-disk graph codec; the digest is order-free
+        either way."""
+        ordered = sorted(nodes, key=repr)
+        sub = SignedDiGraph()
+        for node in ordered:
+            sub.add_node(node, self.graph.state(node))
+        for node in ordered:
+            for u, v, data in self.graph.out_edges(node):
+                if v in nodes and self._edge_live(u, v, data):
+                    sub.add_edge(u, v, int(data.sign), data.weight)
+        return sub
+
+    def _register(self, nodes: Set[Node]) -> int:
+        cid = self._next_id
+        self._next_id += 1
+        self._comp_nodes[cid] = nodes
+        self._comp_sub[cid] = self._build_subgraph(nodes)
+        self._comp_key[cid] = min(repr(n) for n in nodes)
+        for node in nodes:
+            self._comp_of[node] = cid
+        return cid
+
+    def _rebuild_partition(self) -> int:
+        """Full BFS sweep (init / resync); returns the component count."""
+        self._comp_nodes.clear()
+        self._comp_sub.clear()
+        self._comp_key.clear()
+        self._comp_of.clear()
+        visited: Set[Node] = set()
+        for start in sorted(self.graph.nodes(), key=repr):
+            if start in visited or not self.graph.state(start).is_active:
+                continue
+            self._register(self._bfs_component(start, visited))
+        return len(self._comp_nodes)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def components(self) -> List[SignedDiGraph]:
+        """Current component subgraphs, in the cold pipeline's order
+        (ascending smallest member under repr)."""
+        return [
+            self._comp_sub[cid]
+            for cid in sorted(self._comp_nodes, key=self._comp_key.__getitem__)
+        ]
+
+    def component_count(self) -> int:
+        """Number of infected components right now."""
+        return len(self._comp_nodes)
+
+    def materialise(self) -> SignedDiGraph:
+        """The infected snapshot a cold run would start from: the induced
+        subgraph of the live network over its active nodes."""
+        active = [n for n in self.graph.nodes() if self.graph.state(n).is_active]
+        return self.graph.subgraph(active, name="stream-materialised")
+
+    # ------------------------------------------------------------------
+    # Delta application
+    # ------------------------------------------------------------------
+
+    def apply(
+        self, delta: SnapshotDelta, recorder: Optional[Recorder] = None
+    ) -> DeltaReport:
+        """Apply ``delta`` to the live network and repair the partition.
+
+        Cost is proportional to the touched components, not the network:
+        re-BFS starts only from touched nodes and the members of their
+        (now dirty) components, absorbing untouched components on
+        contact when a new live edge merges into them.
+        """
+        rec = resolve_recorder(recorder)
+        index = self._delta_count
+        self._delta_count += 1
+        with rec.span("stream.apply", delta=index):
+            touched = apply_delta(self.graph, delta)
+            # Old components of every touched node (the dirty set). The
+            # partition maps are still pre-delta here, so removed nodes
+            # resolve to the component they are leaving.
+            dirty: Set[int] = set()
+            for node in touched:
+                cid = self._comp_of.get(node)
+                if cid is not None:
+                    dirty.add(cid)
+            starts: Set[Node] = set()
+            for cid in dirty:
+                starts.update(self._comp_nodes[cid])
+            starts.update(touched)
+            visited: Set[Node] = set()
+            pieces: List[Set[Node]] = []
+            for start in sorted(starts, key=repr):
+                if start in visited or not self.graph.has_node(start):
+                    continue
+                if not self.graph.state(start).is_active:
+                    continue
+                pieces.append(self._bfs_component(start, visited))
+            # Absorb-on-contact: a BFS that reached into an untouched
+            # component (via a new/resurrected live edge) covered all of
+            # it, so that component dissolves into the new piece.
+            absorbed: Set[int] = set(dirty)
+            for node in visited:
+                cid = self._comp_of.get(node)
+                if cid is not None:
+                    absorbed.add(cid)
+            # Pop absorbed components *before* registering pieces: a
+            # node keeps its fresh assignment even when an absorbed
+            # component also claimed it.
+            for cid in absorbed:
+                for node in self._comp_nodes.pop(cid):
+                    if self._comp_of.get(node) == cid:
+                        del self._comp_of[node]
+                del self._comp_sub[cid]
+                del self._comp_key[cid]
+            for piece in pieces:
+                self._register(piece)
+        if rec.enabled:
+            rec.incr("stream.deltas")
+            rec.incr("stream.delta.nodes", len(touched))
+            rec.incr("stream.dirty_components", len(absorbed))
+            rec.gauge("stream.components", len(self._comp_nodes))
+        return DeltaReport(
+            delta_index=index,
+            touched_nodes=len(touched),
+            invalidated_components=len(absorbed),
+            recomputed_components=len(pieces),
+            total_components=len(self._comp_nodes),
+        )
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+
+    def detect(
+        self,
+        *,
+        budget: Optional[int] = None,
+        label: Optional[str] = None,
+        recorder: Optional[Recorder] = None,
+        runtime: Optional[RuntimeConfig] = None,
+    ) -> DetectionResult:
+        """Re-detect over the current partition, reusing cached artifacts.
+
+        Bit-identical to a cold run on :meth:`materialise` (see the
+        module docstring for the argument). ``stream.reused_artifacts``
+        and ``stream.computed_artifacts`` count the artifact-cache hits
+        and misses this call produced — on a small delta the reuse count
+        dominates because untouched components' Arborescence and TreeDP
+        outputs come back verbatim.
+        """
+        rec = resolve_recorder(recorder)
+        cache = self.engine.cache
+        hits_before, misses_before = cache.hits, cache.misses
+        with using_recorder(rec):
+            with rec.span("stream.detect", components=len(self._comp_nodes)):
+                outcome = self.engine.detect_components(
+                    self.config,
+                    self.components(),
+                    budget=budget,
+                    label=label,
+                    recorder=rec,
+                    runtime=runtime if runtime is not None else self.runtime,
+                )
+        reused = cache.hits - hits_before
+        computed = cache.misses - misses_before
+        if rec.enabled:
+            rec.incr("stream.reused_artifacts", reused)
+            rec.incr("stream.computed_artifacts", computed)
+        self.last_reused_artifacts = reused
+        self.last_computed_artifacts = computed
+        self.last_outcome = outcome
+        return outcome.result
+
+    def step(
+        self,
+        delta: SnapshotDelta,
+        *,
+        budget: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
+        runtime: Optional[RuntimeConfig] = None,
+    ) -> StreamStep:
+        """Apply one delta, then re-detect: the streaming unit of work."""
+        rec = resolve_recorder(recorder)
+        report = self.apply(delta, recorder=rec)
+        result = self.detect(budget=budget, recorder=rec, runtime=runtime)
+        return StreamStep(
+            report=report,
+            result=result,
+            reused_artifacts=self.last_reused_artifacts,
+            computed_artifacts=self.last_computed_artifacts,
+        )
+
+    def replay(
+        self,
+        deltas: Iterable[SnapshotDelta],
+        *,
+        budget: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
+        runtime: Optional[RuntimeConfig] = None,
+    ) -> List[StreamStep]:
+        """Run :meth:`step` for every delta, in order."""
+        return [
+            self.step(delta, budget=budget, recorder=recorder, runtime=runtime)
+            for delta in deltas
+        ]

@@ -1,0 +1,191 @@
+"""Deterministic synthetic delta streams for tests, demos and benchmarks.
+
+:func:`synthetic_snapshot` builds the multi-component infected snapshot
+the pipeline benchmarks use (random cascade trees plus sign-consistent
+extra edges, int node ids so every artifact is disk-cacheable), and
+:func:`synthetic_stream` derives a replayable delta sequence from it:
+opinion flips, recoveries, re-infections, fresh-node infections, edge
+add/remove churn and periodic cross-component merge edges. The
+generator maintains its own working copy of the network, so every emitted
+delta is valid against the state produced by its predecessors — the
+stream replays cleanly through :func:`~repro.stream.delta.apply_delta`
+(and therefore through the CLI's ``detect-stream`` artefact).
+
+Everything is driven by :func:`repro.utils.rng.spawn_rng`, so a given
+``(components, size, deltas, churn, seed)`` tuple always produces the
+same stream on every platform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.stream.delta import SnapshotDelta, apply_delta
+from repro.types import NodeState
+from repro.utils.rng import spawn_rng
+
+#: Base id for nodes that join the network mid-stream.
+_FRESH_BASE = 9 * 10**6
+
+
+def synthetic_snapshot(
+    components: int = 6, size: int = 14, seed: int = 7, name: Optional[str] = None
+) -> SignedDiGraph:
+    """A fully-infected snapshot of ``components`` disjoint components.
+
+    Each component is a random cascade tree (parent uniform among
+    earlier nodes, random sign/weight) with states propagated
+    consistently from a random root state, plus a few extra
+    sign-consistent intra-component edges. Node ids are
+    ``component * 10**6 + index``.
+    """
+    rng = spawn_rng(seed, "stream-synthetic-snapshot")
+    g = SignedDiGraph(name=name or f"stream-synthetic-{components}x{size}")
+    for c in range(components):
+        base = c * 10**6
+        states = {base: 1 if rng.random() < 0.5 else -1}
+        g.add_node(base)
+        for i in range(1, size):
+            node = base + i
+            parent = base + rng.randrange(i)
+            sign = 1 if rng.random() < 0.7 else -1
+            states[node] = states[parent] * sign
+            g.add_edge(parent, node, sign, round(rng.uniform(0.05, 0.95), 6))
+        for _ in range(max(2, size // 4)):
+            u = base + rng.randrange(size)
+            v = base + rng.randrange(size)
+            if u == v or g.has_edge(u, v):
+                continue
+            g.add_edge(u, v, states[u] * states[v], round(rng.uniform(0.05, 0.95), 6))
+        g.set_states(
+            {
+                node: NodeState.POSITIVE if s > 0 else NodeState.NEGATIVE
+                for node, s in states.items()
+            }
+        )
+    return g
+
+
+def synthetic_stream(
+    components: int = 6,
+    size: int = 14,
+    deltas: int = 20,
+    churn: float = 0.08,
+    seed: int = 7,
+) -> Tuple[SignedDiGraph, List[SnapshotDelta]]:
+    """An initial snapshot plus ``deltas`` valid deltas derived from it.
+
+    Each delta touches roughly ``churn * nodes`` nodes with a mix of
+    opinion flips, recoveries (active → inactive) and re-infections;
+    every delta also churns one edge off and one sign-consistent edge
+    on. On a fixed cadence the stream additionally emits a
+    cross-component merge edge (every 3rd delta, sign-consistent so it
+    survives pruning), a fresh-node infection (every 4th) and a node
+    removal (every 7th) — so any replay of ≥ 7 deltas exercises merges,
+    recoveries, topology growth and shrinkage.
+
+    Returns:
+        ``(snapshot, deltas)`` — the snapshot is a fresh graph; the
+        returned deltas have *not* been applied to it.
+    """
+    snapshot = synthetic_snapshot(components, size, seed=seed)
+    rng = spawn_rng(seed, "stream-synthetic-deltas")
+    live = snapshot.copy()
+    out: List[SnapshotDelta] = []
+    fresh = 0
+    per_delta = max(1, int(round(churn * snapshot.number_of_nodes())))
+    for index in range(deltas):
+        delta = SnapshotDelta()
+        claimed = set()
+
+        def pick_active():
+            candidates = [
+                n for n in live.active_nodes() if n not in claimed
+            ]
+            if not candidates:
+                return None
+            node = candidates[rng.randrange(len(candidates))]
+            claimed.add(node)
+            return node
+
+        # State churn: flips, and (on a cadence) recoveries/re-infections.
+        for slot in range(per_delta):
+            node = pick_active()
+            if node is None:
+                break
+            if index % 2 == 1 and slot == 0:
+                delta.states[node] = NodeState.INACTIVE  # recovery
+            else:
+                flipped = -int(live.state(node))
+                delta.states[node] = NodeState(flipped)
+        inactive = [
+            n for n in live.nodes()
+            if not live.state(n).is_active and n not in claimed
+        ]
+        if inactive and index % 2 == 0:
+            node = inactive[rng.randrange(len(inactive))]
+            claimed.add(node)
+            delta.states[node] = (
+                NodeState.POSITIVE if rng.random() < 0.5 else NodeState.NEGATIVE
+            )
+
+        def post_state(node):
+            return int(delta.states.get(node, live.state(node)))
+
+        # Edge churn: drop one existing edge, add one consistent edge.
+        edges = live.edges()
+        if edges:
+            u, v, _ = edges[rng.randrange(len(edges))]
+            delta.remove_edges.append((u, v))
+        active = [n for n in live.active_nodes() if post_state(n) != 0]
+        if len(active) >= 2:
+            for _ in range(8):  # a few tries to find a non-edge pair
+                u = active[rng.randrange(len(active))]
+                v = active[rng.randrange(len(active))]
+                if u == v or live.has_edge(u, v) or (u, v) in delta.remove_edges:
+                    continue
+                delta.add_edges.append(
+                    (u, v, post_state(u) * post_state(v), round(rng.uniform(0.1, 0.9), 6))
+                )
+                break
+        # Merge edge between two original components (sign-consistent).
+        if index % 3 == 2 and components >= 2:
+            c1 = rng.randrange(components)
+            c2 = (c1 + 1 + rng.randrange(components - 1)) % components
+            left = [n for n in active if n // 10**6 == c1]
+            right = [n for n in active if n // 10**6 == c2]
+            if left and right:
+                u = left[rng.randrange(len(left))]
+                v = right[rng.randrange(len(right))]
+                if not live.has_edge(u, v) and (u, v) not in delta.remove_edges:
+                    delta.add_edges.append(
+                        (u, v, post_state(u) * post_state(v),
+                         round(rng.uniform(0.1, 0.9), 6))
+                    )
+        # Fresh-node infection, wired to an existing active node.
+        if index % 4 == 3 and active:
+            node = _FRESH_BASE + fresh
+            fresh += 1
+            anchor = active[rng.randrange(len(active))]
+            state = 1 if rng.random() < 0.5 else -1
+            delta.states[node] = NodeState(state)
+            delta.add_edges.append(
+                (anchor, node, post_state(anchor) * state,
+                 round(rng.uniform(0.1, 0.9), 6))
+            )
+        # Node removal (never one claimed by this delta's other ops).
+        if index % 7 == 6:
+            removable = [
+                n for n in live.nodes()
+                if n not in claimed
+                and n not in delta.states
+                and all(n not in (u, v) for u, v, _, _ in delta.add_edges)
+                and all(n not in (u, v) for u, v in delta.remove_edges)
+            ]
+            if removable:
+                delta.remove_nodes.append(removable[rng.randrange(len(removable))])
+
+        apply_delta(live, delta)
+        out.append(delta)
+    return snapshot, out

@@ -289,3 +289,64 @@ class TestVersionCounters:
         assert (graph.version, graph.structure_version) == (v + 1, s + 1)
         graph.bump_version(structural=False)
         assert (graph.version, graph.structure_version) == (v + 2, s + 1)
+
+
+class TestMutatorVersionAudit:
+    """Every mutator must bump ``version``; topology/sign/weight mutators
+    must also bump ``structure_version`` (which keys the kernel's
+    WeakKeyDictionary compile cache), while state-only mutators must not.
+    A missing bump silently serves stale compiled CSR forms and stale
+    content digests, so the full matrix is pinned here.
+    """
+
+    STRUCTURAL = [
+        ("add_node", lambda g: g.add_node(99)),
+        ("remove_node", lambda g: g.remove_node(3)),
+        ("add_edge", lambda g: g.add_edge(1, 3, -1, 0.4)),
+        ("add_edge_overwrite", lambda g: g.add_edge(1, 2, -1, 0.4)),
+        ("remove_edge", lambda g: g.remove_edge(1, 2)),
+        ("set_weight", lambda g: g.set_weight(1, 2, 0.9)),
+    ]
+    STATE_ONLY = [
+        ("set_state", lambda g: g.set_state(1, NodeState.POSITIVE)),
+        ("set_states", lambda g: g.set_states({2: NodeState.NEGATIVE})),
+        ("reset_states", lambda g: g.reset_states()),
+    ]
+
+    @pytest.mark.parametrize("name,mutate", STRUCTURAL, ids=[n for n, _ in STRUCTURAL])
+    def test_structural_mutators_bump_both_counters(self, graph, name, mutate):
+        v, s = graph.version, graph.structure_version
+        mutate(graph)
+        assert graph.version > v, f"{name} must bump version"
+        assert graph.structure_version > s, f"{name} must bump structure_version"
+
+    @pytest.mark.parametrize("name,mutate", STATE_ONLY, ids=[n for n, _ in STATE_ONLY])
+    def test_state_mutators_bump_only_version(self, graph, name, mutate):
+        v, s = graph.version, graph.structure_version
+        mutate(graph)
+        assert graph.version > v, f"{name} must bump version"
+        assert graph.structure_version == s, f"{name} must not bump structure_version"
+
+    def test_kernel_recompiles_and_detection_changes_after_edge_removal(self):
+        """In-place edge removal must invalidate the compile cache *and*
+        flow through to a different detection result — the end-to-end
+        contract streaming deltas rely on.
+        """
+        from repro.core.rid import RID, RIDConfig
+        from repro.kernel.compile import compile_graph
+
+        g = SignedDiGraph()
+        g.add_edge("a", "b", 1, 0.9)
+        g.add_edge("b", "c", 1, 0.8)
+        g.set_states({n: NodeState.POSITIVE for n in "abc"})
+
+        compiled = compile_graph(g)
+        assert compile_graph(g) is compiled  # memoized while unmutated
+        before = RID(RIDConfig()).detect(g)
+        assert before.initiators == {"a"}
+
+        g.remove_edge("a", "b")
+        recompiled = compile_graph(g)
+        assert recompiled is not compiled  # structure_version bump took
+        after = RID(RIDConfig()).detect(g)
+        assert after.initiators == {"a", "b"}
