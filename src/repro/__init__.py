@@ -66,6 +66,7 @@ from repro.runtime import RuntimeConfig, TrialReport
 from repro.stream import (
     SnapshotDelta,
     StreamingDetectionEngine,
+    StreamReplay,
     read_event_log,
     write_event_log,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "evaluate",
     "SnapshotDelta",
     "StreamingDetectionEngine",
+    "StreamReplay",
     "read_event_log",
     "write_event_log",
     "Recorder",

@@ -2,9 +2,22 @@
 
 Keeps the package runnable even when the ``repro-experiments`` console
 script is not on PATH (e.g. ``python setup.py develop`` installs).
+``python -m repro serve ...`` dispatches to the detection server
+(:mod:`repro.serve.cli`) instead.
 """
 
-from repro.experiments.cli import main
+import sys
+
+
+def main() -> int:
+    if sys.argv[1:2] == ["serve"]:
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(sys.argv[2:])
+    from repro.experiments.cli import main as experiments_main
+
+    return experiments_main()
+
 
 if __name__ == "__main__":
     raise SystemExit(main())

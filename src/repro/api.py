@@ -23,8 +23,10 @@ so all stage spans and kernel counters land in one report::
 
 Compatibility contract: names exported here (and re-exported from
 :mod:`repro`) keep their signatures stable across releases; superseded
-keywords go through a :class:`DeprecationWarning` cycle first (e.g. the
-detector ``k=``/``max_k=`` budget spellings).
+keywords go through a :class:`DeprecationWarning` cycle first and are
+then removed with a :class:`~repro.errors.ConfigError` naming the
+replacement (the detector ``k=``/``max_k=`` budget spellings completed
+that cycle — pass ``budget=``).
 """
 
 from __future__ import annotations
@@ -236,8 +238,10 @@ def detect_stream(
             ``stream.*`` spans/counters land here).
 
     Returns:
-        One :class:`~repro.stream.engine.StreamStep` per delta, in
-        order; ``steps[-1].result`` is the final detection.
+        A :class:`~repro.stream.engine.StreamReplay` — one
+        :class:`~repro.stream.engine.StreamStep` per delta, in order,
+        indexable like a list; ``replay.final`` is the final detection
+        and ``replay.latencies`` the per-delta wall times.
     """
     from repro.stream import EventLog, StreamingDetectionEngine, read_event_log
 

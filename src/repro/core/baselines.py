@@ -16,13 +16,12 @@ cannot infer initial states, so their results carry no state map.
 from __future__ import annotations
 
 import abc
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.core.binarize import find_tree_root
 from repro.core.cascade_forest import extract_cascade_forest
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ResultFormatError
 from repro.graphs.signed_digraph import SignedDiGraph
 from repro.graphs.transforms import positive_subgraph
 from repro.obs.recorder import Recorder, resolve_recorder
@@ -35,36 +34,29 @@ def resolve_budget_kwargs(
     max_k: Optional[int] = None,
     method: str = "detect_with_budget",
 ) -> int:
-    """Normalise the historical budget spellings onto ``budget``.
+    """Validate the unified ``budget=`` keyword.
 
     Detectors grew up with three names for the same number — ``budget``
     (RID's knapsack entry point), ``k`` (the k-ISOMIT problem
-    statement), and ``max_k`` (the extension detectors). The unified
-    :class:`Detector` signature accepts all three; the legacy two warn
-    with :class:`DeprecationWarning` and keep working.
+    statement), and ``max_k`` (the extension detectors). The legacy two
+    went through a :class:`DeprecationWarning` cycle and are now
+    removed: passing either raises :class:`ConfigError` naming the
+    replacement, so stale call sites fail with a pointed message rather
+    than a generic ``TypeError``.
 
     Raises:
-        ConfigError: when no value, or conflicting values, are given.
+        ConfigError: when no budget is given, or a removed legacy
+            spelling (``k=``/``max_k=``) is used.
     """
-    aliases = [("k", k), ("max_k", max_k)]
-    resolved = budget
-    for name, value in aliases:
-        if value is None:
-            continue
-        warnings.warn(
-            f"{method}({name}=...) is deprecated; pass budget=... instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        if resolved is not None and resolved != value:
+    for name, value in (("k", k), ("max_k", max_k)):
+        if value is not None:
             raise ConfigError(
-                f"conflicting initiator budgets: budget={resolved!r} vs "
-                f"{name}={value!r}"
+                f"{method}({name}=...) was removed after its deprecation "
+                f"cycle; pass budget={value!r} instead"
             )
-        resolved = value
-    if resolved is None:
+    if budget is None:
         raise ConfigError(f"{method}() needs an initiator budget (budget=...)")
-    return resolved
+    return budget
 
 
 @dataclass
@@ -91,7 +83,11 @@ class DetectionResult:
         return len(self.initiators)
 
     def to_dict(self) -> dict:
-        """JSON-ready summary (tree structures reduced to sizes)."""
+        """JSON-ready summary (tree structures reduced to sizes).
+
+        Lossy by design — for logs and experiment tables. Use
+        :meth:`to_json` when the result must round-trip.
+        """
         return {
             "method": self.method,
             "initiators": sorted(self.initiators, key=repr),
@@ -104,6 +100,74 @@ class DetectionResult:
             ),
             "objective": self.objective,
         }
+
+    # -- stable JSON codec ----------------------------------------------
+
+    #: Format tag stamped by :meth:`to_json`; :meth:`from_json` accepts
+    #: only this tag (shared with the ``repro.serve/v1`` wire schema).
+    JSON_FORMAT = "repro.detection-result/v1"
+
+    def to_json(self) -> dict:
+        """Full round-trip encoding, cascade trees included.
+
+        Initiators and states are emitted repr-sorted and node
+        identifiers as ``[typecode, value]`` pairs (the artifact-cache
+        codec), so encoding the same result always produces the same
+        JSON — the serving tier's identity gate compares these payloads
+        bit-for-bit. Inverse: :meth:`from_json`.
+
+        Raises:
+            CacheCodecError: when a node identifier is not int or str.
+        """
+        # Imported lazily: repro.pipeline imports this module back.
+        from repro.pipeline.cache import encode_graph
+        from repro.runtime.cache import _encode_node
+
+        return {
+            "format": self.JSON_FORMAT,
+            "method": self.method,
+            "initiators": [
+                _encode_node(n) for n in sorted(self.initiators, key=repr)
+            ],
+            "states": [
+                [_encode_node(n), int(s)]
+                for n, s in sorted(self.states.items(), key=lambda kv: repr(kv[0]))
+            ],
+            "trees": [encode_graph(t) for t in self.trees],
+            "objective": self.objective,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "DetectionResult":
+        """Inverse of :meth:`to_json`.
+
+        Raises:
+            ResultFormatError: on a non-dict payload, a wrong/missing
+                format tag, or malformed fields.
+        """
+        from repro.pipeline.cache import decode_graph
+        from repro.runtime.cache import _decode_node
+
+        if not isinstance(payload, dict) or payload.get("format") != cls.JSON_FORMAT:
+            raise ResultFormatError(
+                f"payload is not a serialised DetectionResult "
+                f"(expected format {cls.JSON_FORMAT!r})"
+            )
+        try:
+            objective = payload["objective"]
+            return cls(
+                method=payload["method"],
+                initiators={_decode_node(n) for n in payload["initiators"]},
+                states={
+                    _decode_node(n): NodeState(s) for n, s in payload["states"]
+                },
+                trees=[decode_graph(t) for t in payload["trees"]],
+                objective=None if objective is None else float(objective),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ResultFormatError(
+                f"malformed DetectionResult payload: {exc}"
+            ) from exc
 
 
 class Detector(abc.ABC):
@@ -121,8 +185,9 @@ class Detector(abc.ABC):
       omitted).
     * ``detect_with_budget(infected, budget=..., recorder=None)`` —
       fixed-count detection for detectors that support it. The legacy
-      keyword spellings ``k=`` and ``max_k=`` still work but emit
-      :class:`DeprecationWarning`.
+      keyword spellings ``k=`` and ``max_k=`` completed their
+      deprecation cycle and now raise :class:`ConfigError` pointing at
+      ``budget=``.
     """
 
     name: str = "detector"
@@ -149,7 +214,8 @@ class Detector(abc.ABC):
 
         Raises:
             NotImplementedError: for detectors without budget support.
-            ConfigError: on missing or conflicting budget keywords.
+            ConfigError: on a missing budget, or the removed ``k=`` /
+                ``max_k=`` legacy spellings.
         """
         resolve_budget_kwargs(budget, k=k, max_k=max_k)
         raise NotImplementedError(

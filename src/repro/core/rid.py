@@ -233,8 +233,8 @@ class RID(Detector):
                 its root explained) and at most the infected-node count.
                 A snapshot with zero infected nodes accepts exactly
                 ``budget=0`` and returns an empty result.
-            k: deprecated spelling of ``budget`` (warns).
-            max_k: deprecated spelling of ``budget`` (warns).
+            k: removed spelling of ``budget`` (raises ``ConfigError``).
+            max_k: removed spelling of ``budget`` (raises ``ConfigError``).
             recorder: observability sink (ambient recorder by default).
             runtime: fan-out/caching override for this call.
 

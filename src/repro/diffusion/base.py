@@ -15,7 +15,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import InvalidSeedError
+from repro.errors import InvalidSeedError, ResultFormatError
 from repro.graphs.signed_digraph import SignedDiGraph
 from repro.types import INITIATOR_STATES, Node, NodeState
 from repro.utils.rng import RandomSource, spawn_rng
@@ -116,6 +116,51 @@ class DiffusionResult:
         for node in infected:
             sub.set_state(node, self.final_states[node])
         return sub
+
+    # -- stable JSON codec ----------------------------------------------
+
+    #: Format tag stamped by :meth:`to_json`; :meth:`from_json` accepts
+    #: only this tag (shared with the ``repro.serve/v1`` wire schema).
+    JSON_FORMAT = "repro.diffusion-result/v1"
+
+    def to_json(self) -> dict:
+        """Full round-trip encoding (seeds, final states, event log).
+
+        Node identifiers are stored as ``[typecode, value]`` pairs —
+        the same codec as the on-disk trial cache — so int and str
+        nodes survive without ambiguity. Inverse: :meth:`from_json`.
+
+        Raises:
+            CacheCodecError: when a node identifier is not int or str.
+        """
+        # Imported lazily: repro.runtime.cache imports this module.
+        from repro.runtime.cache import encode_diffusion_result
+
+        payload = encode_diffusion_result(self)
+        payload["format"] = self.JSON_FORMAT
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "DiffusionResult":
+        """Inverse of :meth:`to_json`.
+
+        Raises:
+            ResultFormatError: on a non-dict payload, a wrong/missing
+                format tag, or malformed fields.
+        """
+        from repro.runtime.cache import decode_diffusion_result
+
+        if not isinstance(payload, dict) or payload.get("format") != cls.JSON_FORMAT:
+            raise ResultFormatError(
+                f"payload is not a serialised DiffusionResult "
+                f"(expected format {cls.JSON_FORMAT!r})"
+            )
+        try:
+            return decode_diffusion_result(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ResultFormatError(
+                f"malformed DiffusionResult payload: {exc}"
+            ) from exc
 
 
 def check_seeds(diffusion: SignedDiGraph, seeds: Dict[Node, NodeState]) -> Dict[Node, NodeState]:

@@ -106,6 +106,14 @@ class DynamicProgramError(DetectionError):
     """The tree dynamic program was driven with inconsistent arguments."""
 
 
+class ResultFormatError(ReproError, ValueError):
+    """A serialised result payload is malformed or carries an unknown
+    format/version tag (the ``to_json``/``from_json`` codecs of
+    :class:`~repro.core.baselines.DetectionResult` and
+    :class:`~repro.diffusion.base.DiffusionResult`, shared with the
+    ``repro.serve/v1`` wire schema)."""
+
+
 # --------------------------------------------------------------------------
 # Streaming re-detection
 # --------------------------------------------------------------------------
@@ -127,6 +135,62 @@ class EventLogFormatError(StreamError, ValueError):
 
 class DeltaApplicationError(StreamError, ValueError):
     """A snapshot delta references state the live snapshot does not have."""
+
+
+# --------------------------------------------------------------------------
+# Serving tier (repro.serve)
+# --------------------------------------------------------------------------
+
+
+class ServeError(ReproError):
+    """Base class for errors from the detection-as-a-service tier."""
+
+
+class WireFormatError(ServeError, ValueError):
+    """A ``repro.serve/v1`` wire payload is malformed (bad JSON, missing
+    fields, unknown schema tag)."""
+
+
+class ServerOverloadedError(ServeError):
+    """Admission control shed the request: the target worker's queue is
+    full. Maps to HTTP 503 with a ``Retry-After`` header."""
+
+    def __init__(self, message: str = "server overloaded", retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RequestTimeoutError(ServeError):
+    """The request missed its deadline before (or while) computing.
+    Maps to HTTP 504."""
+
+
+class SessionNotFoundError(ServeError, KeyError):
+    """A streaming request referenced a session name the server does not
+    hold. Maps to HTTP 404."""
+
+    def __init__(self, session: str) -> None:
+        super().__init__(f"unknown stream session {session!r}")
+        self.session = session
+
+
+class SessionExistsError(ServeError, ValueError):
+    """Attempted to create a stream session under a name already in use.
+    Maps to HTTP 409."""
+
+    def __init__(self, session: str) -> None:
+        super().__init__(f"stream session {session!r} already exists")
+        self.session = session
+
+
+class ServeClientError(ServeError):
+    """The client received an error envelope it could not map back onto a
+    concrete :class:`ReproError` subclass; carries the raw envelope."""
+
+    def __init__(self, message: str, status: int, envelope: dict | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.envelope = envelope or {}
 
 
 # --------------------------------------------------------------------------

@@ -114,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--events file is given (default 20)",
     )
     parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="detect / detect-stream: persist the detection result as "
+        "round-trip JSON (DetectionResult.to_json; loadable with "
+        "DetectionResult.from_json)",
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help="collect per-stage counters and timings and print a report "
@@ -129,17 +137,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run_detect(scale: float, seed: int, runtime: Optional[RuntimeConfig] = None) -> None:
+def run_detect(
+    scale: float,
+    seed: int,
+    runtime: Optional[RuntimeConfig] = None,
+    out: Optional[str] = None,
+) -> None:
     """One end-to-end plant → spread → detect run via the stable facade.
 
     The smallest artefact that exercises every instrumented stage —
     handy with ``--metrics`` / ``--trace-out``. ``--workers N`` fans the
     detection pipeline's per-component/per-tree work units over the
     process pool; ``--cache-dir`` persists stage artifacts across
-    invocations.
+    invocations. ``--out FILE`` writes the result in the stable
+    round-trip codec (``DetectionResult.to_json``) instead of an ad-hoc
+    summary dump.
     """
     from repro import api
     from repro.experiments.config import WorkloadConfig
+    from repro.experiments.reporting import save_json
     from repro.experiments.workload import build_workload
     from repro.metrics.identity import identity_metrics
 
@@ -153,6 +169,9 @@ def run_detect(scale: float, seed: int, runtime: Optional[RuntimeConfig] = None)
         f"(precision {scores.precision:.3f}, recall {scores.recall:.3f}, "
         f"f1 {scores.f1:.3f})"
     )
+    if out is not None:
+        save_json(result.to_json(), out)
+        print(f"result written to {out} (DetectionResult.from_json round-trips it)")
 
 
 def run_detect_stream(
@@ -160,6 +179,7 @@ def run_detect_stream(
     deltas: int,
     seed: int,
     runtime: Optional[RuntimeConfig] = None,
+    out: Optional[str] = None,
 ) -> None:
     """Replay an event log (or a synthetic stream), printing per-delta
     latency and artifact reuse.
@@ -167,7 +187,9 @@ def run_detect_stream(
     Each line shows the incremental re-detection's wall time next to the
     touched-node and dirty-component counts; on small deltas most
     components resolve to artifact-cache hits (the ``reused`` column)
-    and only the dirty ones pay for Arborescence/TreeDP.
+    and only the dirty ones pay for Arborescence/TreeDP. ``--out FILE``
+    persists the final detection in the stable round-trip codec plus a
+    per-delta latency/reuse table.
     """
     import time
 
@@ -196,10 +218,13 @@ def run_detect_stream(
         f"{snapshot.number_of_nodes()} nodes, {snapshot.number_of_edges()} edges"
     )
     engine = StreamingDetectionEngine(snapshot, runtime=runtime)
+    steps, latencies = [], []
     for delta in stream:
         start = time.perf_counter()
         step = engine.step(delta)
         elapsed = time.perf_counter() - start
+        steps.append(step)
+        latencies.append(elapsed)
         r = step.report
         print(
             f"delta {r.delta_index:>3}: {elapsed * 1000:8.2f} ms  "
@@ -213,6 +238,27 @@ def run_detect_stream(
         f"artifact cache: {stats['hits']} hits / {stats['misses']} misses "
         f"({stats['entries']} entries)"
     )
+    if out is not None and steps:
+        from repro.experiments.reporting import save_json
+
+        save_json(
+            {
+                "final": steps[-1].result.to_json(),
+                "deltas": [
+                    {
+                        "index": step.report.delta_index,
+                        "seconds": lat,
+                        "touched_nodes": step.report.touched_nodes,
+                        "dirty_components": step.report.invalidated_components,
+                        "reused_artifacts": step.reused_artifacts,
+                        "computed_artifacts": step.computed_artifacts,
+                    }
+                    for step, lat in zip(steps, latencies)
+                ],
+            },
+            out,
+        )
+        print(f"final result written to {out}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -257,13 +303,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.artefact in ("sweeps", "all"):
             sweeps.main(seed=args.seed, scale=args.scale)
         if args.artefact == "detect":
-            run_detect(scale=args.scale, seed=args.seed, runtime=runtime)
+            run_detect(scale=args.scale, seed=args.seed, runtime=runtime, out=args.out)
         if args.artefact == "detect-stream":
             run_detect_stream(
                 events=args.events,
                 deltas=args.deltas,
                 seed=args.seed,
                 runtime=runtime,
+                out=args.out,
             )
 
     if metrics_recorder is not None:

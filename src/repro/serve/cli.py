@@ -1,0 +1,100 @@
+"""``repro-serve`` / ``python -m repro serve`` — run the detection server.
+
+Examples::
+
+    repro-serve --port 8473 --workers 4
+    repro-serve --port 0 --metrics        # ephemeral port, report on exit
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+from typing import Optional, Sequence
+
+from repro.obs import format_report
+from repro.serve.server import DetectionServer, ServeConfig
+from repro.serve.wire import WIRE_SCHEMA
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve rumor-initiator detection over the "
+        f"{WIRE_SCHEMA} HTTP API.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8473, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker threads / affinity shards"
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=64,
+        help="per-worker queue bound before 503 load-shedding",
+    )
+    parser.add_argument(
+        "--batch-max", type=int, default=8,
+        help="max requests one worker drains per wakeup",
+    )
+    parser.add_argument(
+        "--engine-cache", type=int, default=8,
+        help="decoded graphs / warm detectors kept per worker",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="seconds before an accepted request answers 504",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the merged serve.* metrics report on shutdown",
+    )
+    return parser
+
+
+async def _run(server: DetectionServer) -> None:
+    await server.start()
+    cfg = server.config
+    print(
+        f"repro.serve listening on http://{cfg.host}:{server.port} "
+        f"({cfg.workers} workers, schema {WIRE_SCHEMA}); Ctrl-C drains and exits"
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, ValueError):
+            loop.add_signal_handler(sig, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        print("repro.serve draining...")
+        await server.stop()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        batch_max=args.batch_max,
+        engine_cache=args.engine_cache,
+        timeout=args.timeout,
+    )
+    server = DetectionServer(config)
+    try:
+        asyncio.run(_run(server))
+    except KeyboardInterrupt:
+        pass
+    if args.metrics:
+        print()
+        print(format_report(server.metrics(), title="serve observability"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

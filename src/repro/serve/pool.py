@@ -1,0 +1,518 @@
+"""Warm-cache worker pool: shard affinity, micro-batching, admission.
+
+The serving tier's compute plane. Each worker thread owns a
+:class:`WorkerHost` — decoded-graph LRU, warm :class:`~repro.core.rid.RID`
+detectors (one per config, each keeping its
+:class:`~repro.pipeline.cache.ArtifactCache` hot across requests), and
+the live streaming sessions. Requests are sharded onto workers by a
+content digest of what they touch (graph payload, or session name), so
+the same graph always lands on the worker that already compiled it —
+that affinity is what makes the cache warm instead of merely present.
+
+Mechanics worth knowing:
+
+* **Admission control** — each worker has a bounded queue;
+  :meth:`WorkerPool.submit` never blocks, it sheds with
+  :class:`~repro.errors.ServerOverloadedError` (→ 503 + ``Retry-After``)
+  when the shard is full.
+* **Micro-batching** — a worker drains up to ``batch_max`` queued
+  requests per wakeup and coalesces byte-identical ones (same digest)
+  into a single computation fanned out to every waiting future.
+  Detection is deterministic, so coalescing is exact, not approximate.
+* **Thread-safe metrics without locks** —
+  :class:`~repro.obs.metrics.MetricsRecorder` is not thread-safe, so
+  each worker records into its own private recorder and
+  :meth:`WorkerPool.metrics` folds the snapshots together with the
+  commutative :meth:`~repro.obs.metrics.Metrics.merge`.
+* **Cancellation-safe futures** — the server side abandons a request by
+  cancelling its future (timeout); the worker claims each future with
+  ``set_running_or_notify_cancel`` before computing, so an abandoned
+  request is skipped (counted as ``serve.abandoned``) instead of
+  crashing on a double resolution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import queue
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.rid import RID
+from repro.errors import (
+    ConfigError,
+    ServerOverloadedError,
+    SessionExistsError,
+    SessionNotFoundError,
+    WireFormatError,
+)
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.obs.metrics import Metrics, MetricsRecorder
+from repro.obs.recorder import using_recorder
+from repro.serve import wire
+from repro.types import NodeState
+
+_SHUTDOWN = object()
+
+
+@dataclasses.dataclass
+class ServeRequest:
+    """One queued unit of work, resolved through ``future``."""
+
+    kind: str
+    payload: Dict[str, Any]
+    future: Future
+    enqueued_at: float
+    coalesce_key: Optional[str] = None
+
+
+class WorkerHost:
+    """Per-worker warm state; touched only by its owning thread."""
+
+    def __init__(self, index: int, engine_cache: int) -> None:
+        self.index = index
+        self.recorder = MetricsRecorder()
+        self.sessions: Dict[str, Any] = {}
+        self._graphs: "OrderedDict[str, SignedDiGraph]" = OrderedDict()
+        self._detectors: "OrderedDict[str, RID]" = OrderedDict()
+        self._cap = max(1, engine_cache)
+
+    def graph(self, key: str, payload: Dict[str, Any]) -> Tuple[SignedDiGraph, bool]:
+        """The decoded graph for a wire payload; LRU-cached by digest."""
+        cached = self._graphs.get(key)
+        if cached is not None:
+            self._graphs.move_to_end(key)
+            self.recorder.incr("serve.graph_cache.hits")
+            return cached, True
+        graph = wire.graph_from_json(payload)
+        self._graphs[key] = graph
+        while len(self._graphs) > self._cap:
+            self._graphs.popitem(last=False)
+        self.recorder.incr("serve.graph_cache.misses")
+        return graph, False
+
+    def detector(self, config_payload: Any) -> Tuple[RID, bool]:
+        """A warm RID for these hyper-parameters.
+
+        Keyed by config digest only: the detector's
+        :class:`~repro.pipeline.cache.ArtifactCache` is content-addressed
+        by graph *and* config, so one detector per config safely serves
+        every graph while keeping stage artifacts hot across requests.
+        """
+        config = wire.config_from_json(config_payload)
+        key = wire.payload_digest(wire.config_to_json(config))
+        cached = self._detectors.get(key)
+        if cached is not None:
+            self._detectors.move_to_end(key)
+            self.recorder.incr("serve.engine_cache.hits")
+            return cached, True
+        from repro.pipeline.cache import ArtifactCache
+        from repro.pipeline.engine import DetectionEngine
+
+        detector = RID(config, engine=DetectionEngine(cache=ArtifactCache(max_entries=4096)))
+        self._detectors[key] = detector
+        while len(self._detectors) > self._cap:
+            self._detectors.popitem(last=False)
+        self.recorder.incr("serve.engine_cache.misses")
+        return detector, False
+
+    def cache_temperature(self) -> float:
+        """Fraction of artifact-cache lookups that hit, across all warm
+        detectors (0.0 when nothing has run yet)."""
+        hits = misses = 0
+        for detector in self._detectors.values():
+            cache = detector.engine.cache
+            hits += cache.hits
+            misses += cache.misses
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Request handlers (run on worker threads, ambient recorder installed)
+# ---------------------------------------------------------------------------
+
+
+def _decode_seeds(raw: Any) -> Dict[Any, NodeState]:
+    from repro.runtime.cache import _decode_node
+
+    if not isinstance(raw, list):
+        raise WireFormatError(
+            f"request field 'seeds' must be a list of [node, state] pairs, "
+            f"got {type(raw).__name__}"
+        )
+    try:
+        return {_decode_node(node): NodeState(state) for node, state in raw}
+    except (TypeError, ValueError, KeyError) as exc:
+        raise WireFormatError(f"malformed seeds payload: {exc}") from exc
+
+
+def _handle_detect(host: WorkerHost, payload: Dict[str, Any]) -> Dict[str, Any]:
+    graph_payload = wire.require(payload, "graph", dict)
+    graph, graph_hot = host.graph(wire.payload_digest(graph_payload), graph_payload)
+    detector, engine_hot = host.detector(payload.get("config"))
+    budget = wire.optional_int(payload, "budget")
+    cache = detector.engine.cache
+    hits_before, misses_before = cache.hits, cache.misses
+    if budget is not None:
+        result = detector.detect_with_budget(graph, budget)
+    else:
+        result = detector.detect(graph)
+    reused = cache.hits - hits_before
+    computed = cache.misses - misses_before
+    host.recorder.gauge("serve.cache_temperature", host.cache_temperature())
+    return {
+        "result": result.to_json(),
+        "cache": {
+            "graph": "hot" if graph_hot else "cold",
+            "engine": "hot" if engine_hot else "cold",
+            "reused_artifacts": reused,
+            "computed_artifacts": computed,
+        },
+        "worker": host.index,
+    }
+
+
+def _handle_simulate(host: WorkerHost, payload: Dict[str, Any]) -> Dict[str, Any]:
+    from repro import api
+
+    graph_payload = wire.require(payload, "graph", dict)
+    graph, graph_hot = host.graph(wire.payload_digest(graph_payload), graph_payload)
+    seeds = _decode_seeds(payload.get("seeds"))
+    name = payload.get("model") or "mfc"
+    params = payload.get("params") or {}
+    if not isinstance(params, dict):
+        raise WireFormatError("request field 'params' must be a JSON object")
+    try:
+        factory = api.MODEL_REGISTRY[name]
+    except (KeyError, TypeError):
+        raise ConfigError(
+            f"unknown diffusion model {name!r}; expected one of "
+            f"{sorted(api.MODEL_REGISTRY)}"
+        ) from None
+    try:
+        model = factory(**params)
+    except TypeError as exc:
+        raise ConfigError(f"bad parameters for model {name!r}: {exc}") from None
+    trials = wire.optional_int(payload, "trials")
+    rng = payload.get("rng", 0)
+    if isinstance(rng, bool) or not isinstance(rng, int):
+        raise WireFormatError("request field 'rng' must be an integer seed")
+    out = api.simulate(graph, seeds, model=model, trials=trials, rng=rng)
+    body: Dict[str, Any] = {
+        "cache": {"graph": "hot" if graph_hot else "cold"},
+        "worker": host.index,
+    }
+    if trials is None:
+        body["result"] = out.to_json()
+    else:
+        body["results"] = [r.to_json() for r in out]
+        body["trials"] = trials
+    return body
+
+
+def _handle_evaluate(host: WorkerHost, payload: Dict[str, Any]) -> Dict[str, Any]:
+    from repro import api
+    from repro.experiments.config import WorkloadConfig
+
+    spec = wire.require(payload, "workload", dict)
+    valid = {f.name for f in dataclasses.fields(WorkloadConfig)}
+    unknown = sorted(set(spec) - valid)
+    if unknown:
+        raise ConfigError(
+            f"unknown WorkloadConfig field(s) {unknown}; valid fields: {sorted(valid)}"
+        )
+    workload = WorkloadConfig(**spec)
+    trials = wire.optional_int(payload, "trials") or 3
+    config = wire.config_from_json(payload.get("config"))
+    aggregated = api.evaluate(lambda: RID(config), workload, trials=trials)
+    return {
+        "evaluation": dataclasses.asdict(aggregated),
+        "worker": host.index,
+    }
+
+
+def _session_engine(host: WorkerHost, payload: Dict[str, Any]):
+    name = wire.require(payload, "session", str)
+    engine = host.sessions.get(name)
+    if engine is None:
+        raise SessionNotFoundError(name)
+    return name, engine
+
+
+def _handle_session_create(host: WorkerHost, payload: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.stream.engine import StreamingDetectionEngine
+
+    name = wire.require(payload, "session", str)
+    if name in host.sessions:
+        raise SessionExistsError(name)
+    graph = wire.graph_from_json(wire.require(payload, "graph", dict))
+    config = wire.config_from_json(payload.get("config"))
+    # copy=False: the decoded graph is already a private object.
+    engine = StreamingDetectionEngine(graph, config=config, copy=False)
+    host.sessions[name] = engine
+    host.recorder.incr("serve.sessions.created")
+    return {
+        "session": name,
+        "components": engine.component_count(),
+        "nodes": engine.graph.number_of_nodes(),
+        "worker": host.index,
+    }
+
+
+def _handle_session_delta(host: WorkerHost, payload: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.stream.delta import SnapshotDelta
+
+    name, engine = _session_engine(host, payload)
+    raw = wire.require(payload, "delta", dict)
+    try:
+        delta = SnapshotDelta.from_json(raw)
+    except (TypeError, ValueError, KeyError) as exc:
+        raise WireFormatError(f"malformed delta payload: {exc}") from exc
+    budget = wire.optional_int(payload, "budget")
+    step = engine.step(delta, budget=budget)
+    report = step.report
+    return {
+        "session": name,
+        "result": step.result.to_json(),
+        "report": {
+            "delta_index": report.delta_index,
+            "touched_nodes": report.touched_nodes,
+            "invalidated_components": report.invalidated_components,
+            "recomputed_components": report.recomputed_components,
+            "total_components": report.total_components,
+        },
+        "reused_artifacts": step.reused_artifacts,
+        "computed_artifacts": step.computed_artifacts,
+        "worker": host.index,
+    }
+
+
+def _handle_session_info(host: WorkerHost, payload: Dict[str, Any]) -> Dict[str, Any]:
+    name, engine = _session_engine(host, payload)
+    return {
+        "session": name,
+        "components": engine.component_count(),
+        "nodes": engine.graph.number_of_nodes(),
+        "worker": host.index,
+    }
+
+
+def _handle_session_close(host: WorkerHost, payload: Dict[str, Any]) -> Dict[str, Any]:
+    name, _ = _session_engine(host, payload)
+    del host.sessions[name]
+    host.recorder.incr("serve.sessions.closed")
+    return {"session": name, "closed": True, "worker": host.index}
+
+
+HANDLERS: Dict[str, Callable[[WorkerHost, Dict[str, Any]], Dict[str, Any]]] = {
+    "detect": _handle_detect,
+    "simulate": _handle_simulate,
+    "evaluate": _handle_evaluate,
+    "session.create": _handle_session_create,
+    "session.delta": _handle_session_delta,
+    "session.info": _handle_session_info,
+    "session.close": _handle_session_close,
+}
+
+
+class WorkerPool:
+    """The thread pool behind :class:`repro.serve.server.DetectionServer`."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        queue_size: int = 64,
+        batch_max: int = 8,
+        engine_cache: int = 8,
+        retry_after: float = 1.0,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.batch_max = max(1, batch_max)
+        self.retry_after = retry_after
+        #: Submit-side metrics (shed/enqueue counts, queue depth); only
+        #: the submitting thread (the event loop) writes here.
+        self.control = MetricsRecorder()
+        self._hosts = [WorkerHost(i, engine_cache) for i in range(workers)]
+        self._queues: List["queue.Queue"] = [
+            queue.Queue(maxsize=queue_size) for _ in range(workers)
+        ]
+        self._threads = [
+            threading.Thread(
+                target=self._run, args=(i,), name=f"repro-serve-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        self._inflight = 0
+        self._cond = threading.Condition()
+        self._closed = False
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission (event-loop thread) ---------------------------------
+
+    def shard(self, key: str) -> int:
+        """Stable affinity: the worker index a content key maps to."""
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=4).digest()
+        return int.from_bytes(digest, "big") % self.workers
+
+    def submit(
+        self,
+        kind: str,
+        payload: Dict[str, Any],
+        affinity: str,
+        *,
+        coalesce: Optional[str] = None,
+    ) -> Tuple[int, Future]:
+        """Enqueue a request on its affinity shard; never blocks.
+
+        Raises:
+            ServerOverloadedError: shard queue full or pool shut down —
+                the server turns this into 503 + ``Retry-After``.
+        """
+        if self._closed:
+            raise ServerOverloadedError(
+                "server is shutting down", retry_after=self.retry_after
+            )
+        index = self.shard(affinity)
+        request = ServeRequest(
+            kind=kind,
+            payload=payload,
+            future=Future(),
+            enqueued_at=time.monotonic(),
+            coalesce_key=coalesce,
+        )
+        try:
+            self._queues[index].put_nowait(request)
+        except queue.Full:
+            self.control.incr("serve.shed")
+            raise ServerOverloadedError(
+                f"worker {index} queue is full "
+                f"({self._queues[index].maxsize} requests pending)",
+                retry_after=self.retry_after,
+            ) from None
+        with self._cond:
+            self._inflight += 1
+        request.future.add_done_callback(self._on_done)
+        self.control.incr("serve.enqueued")
+        self.control.gauge("serve.queue_depth", self.queue_depth())
+        return index, request.future
+
+    def _on_done(self, _future: Future) -> None:
+        with self._cond:
+            self._inflight -= 1
+            self._cond.notify_all()
+
+    def queue_depth(self) -> int:
+        """Requests currently queued across all shards (approximate)."""
+        return sum(q.qsize() for q in self._queues)
+
+    def inflight(self) -> int:
+        """Requests submitted but not yet resolved."""
+        with self._cond:
+            return self._inflight
+
+    def session_count(self) -> int:
+        """Live streaming sessions across all workers (approximate)."""
+        return sum(len(host.sessions) for host in self._hosts)
+
+    def drain(self, timeout: float) -> bool:
+        """Block until every submitted request resolved (or timeout)."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+        return True
+
+    def shutdown(self) -> None:
+        """Stop accepting work and join the worker threads."""
+        if self._closed:
+            return
+        self._closed = True
+        for q in self._queues:
+            q.put(_SHUTDOWN)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def metrics(self) -> Metrics:
+        """Order-independent merge of every worker's private snapshot
+        plus the submit-side control metrics."""
+        merged = self.control.metrics.copy()
+        for host in self._hosts:
+            merged.merge_in_place(host.recorder.metrics)
+        return merged
+
+    # -- worker loop (one thread per shard) -----------------------------
+
+    def _run(self, index: int) -> None:
+        host = self._hosts[index]
+        q = self._queues[index]
+        while True:
+            item = q.get()
+            if item is _SHUTDOWN:
+                break
+            batch: List[ServeRequest] = [item]
+            stop = False
+            while len(batch) < self.batch_max:
+                try:
+                    extra = q.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _SHUTDOWN:
+                    stop = True
+                    break
+                batch.append(extra)
+            host.recorder.gauge("serve.batch_size", len(batch))
+            self._process_batch(host, batch)
+            if stop:
+                break
+
+    def _process_batch(self, host: WorkerHost, batch: List[ServeRequest]) -> None:
+        # Coalesce byte-identical requests: compute once, fan the result
+        # out to every waiting future. Detection is deterministic, so
+        # the shared answer is exactly what each caller would have got.
+        groups: "OrderedDict[str, List[ServeRequest]]" = OrderedDict()
+        for request in batch:
+            key = request.coalesce_key or f"!{id(request)}"
+            groups.setdefault(key, []).append(request)
+        recorder = host.recorder
+        for requests in groups.values():
+            primary = requests[0]
+            recorder.timing(
+                "serve.queue_wait", time.monotonic() - primary.enqueued_at
+            )
+            if len(requests) > 1:
+                recorder.incr("serve.coalesced", len(requests) - 1)
+            # Claim each future; a False claim means the server already
+            # abandoned it (timeout → future cancelled).
+            live = [r for r in requests if r.future.set_running_or_notify_cancel()]
+            abandoned = len(requests) - len(live)
+            if abandoned:
+                recorder.incr("serve.abandoned", abandoned)
+            if not live:
+                continue
+            handler = HANDLERS.get(primary.kind)
+            try:
+                if handler is None:
+                    raise WireFormatError(f"unknown request kind {primary.kind!r}")
+                with using_recorder(recorder):
+                    with recorder.span(f"serve.{primary.kind}"):
+                        response = handler(host, primary.payload)
+            except BaseException as exc:  # resolved, not raised: the
+                recorder.incr("serve.errors")  # future carries it back
+                for request in live:
+                    request.future.set_exception(exc)
+            else:
+                recorder.incr("serve.requests")
+                for request in live:
+                    request.future.set_result(response)

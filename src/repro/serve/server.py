@@ -1,0 +1,423 @@
+"""Detection-as-a-service: the asyncio HTTP front of :mod:`repro.serve`.
+
+A deliberately small HTTP/1.1 server (stdlib ``asyncio`` streams, no
+framework) that parses requests on the event loop and hands every
+compute to the :class:`~repro.serve.pool.WorkerPool`. The loop thread
+never runs detection — it parses, routes, awaits a future, serialises.
+
+Endpoints (all bodies tagged ``repro.serve/v1``; see docs/serving.md):
+
+    GET    /v1/health                  liveness + drain state
+    GET    /v1/stats                   merged serve.* metrics snapshot
+    POST   /v1/detect                  one-shot detection on a snapshot
+    POST   /v1/simulate                diffusion cascade(s) on a graph
+    POST   /v1/evaluate                trial-averaged detector scoring
+    POST   /v1/sessions                open a named streaming session
+    GET    /v1/sessions/{name}         session info
+    POST   /v1/sessions/{name}/delta   apply one delta, re-detect
+    DELETE /v1/sessions/{name}         close a session
+
+Admission control and failure mapping live in the wire layer: a full
+shard queue answers 503 with ``Retry-After``; a request that outlives
+``timeout`` answers 504 (its future is cancelled, so the worker skips
+the stale computation instead of wasting a warm engine on it);
+:mod:`repro.errors` types map to 4xx/5xx via
+:func:`repro.serve.wire.error_envelope`.
+
+Shutdown is graceful by default: stop accepting, let queued work drain
+(bounded by ``drain_timeout``), then join the workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import time
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.errors import ConfigError, RequestTimeoutError, ServerOverloadedError
+from repro.obs.metrics import Metrics, MetricsRecorder
+from repro.serve import wire
+from repro.serve.pool import WorkerPool
+
+_MAX_HEADERS = 100
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Deployment knobs of :class:`DetectionServer`.
+
+    Attributes:
+        host: bind address.
+        port: bind port; 0 picks an ephemeral port (read it back from
+            :attr:`DetectionServer.port` — the test/bench default).
+        workers: worker threads; also the number of affinity shards.
+        queue_size: per-shard queue bound; beyond it requests shed 503.
+        batch_max: max requests one worker drains per wakeup
+            (micro-batch / coalescing window).
+        engine_cache: decoded graphs and warm detectors kept per worker.
+        timeout: seconds before an accepted request answers 504.
+        retry_after: the ``Retry-After`` hint on shed responses.
+        max_body: request-body byte cap (413 beyond it).
+        drain_timeout: seconds graceful shutdown waits for queued work.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    queue_size: int = 64
+    batch_max: int = 8
+    engine_cache: int = 8
+    timeout: float = 30.0
+    retry_after: float = 1.0
+    max_body: int = 32 * 1024 * 1024
+    drain_timeout: float = 10.0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on out-of-range settings."""
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_size < 1:
+            raise ConfigError(f"queue_size must be >= 1, got {self.queue_size}")
+        if self.batch_max < 1:
+            raise ConfigError(f"batch_max must be >= 1, got {self.batch_max}")
+        if self.timeout <= 0:
+            raise ConfigError(f"timeout must be > 0, got {self.timeout}")
+        if self.max_body < 1024:
+            raise ConfigError(f"max_body must be >= 1024, got {self.max_body}")
+
+
+class DetectionServer:
+    """The serving tier: asyncio front + warm worker pool."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.config.validate()
+        #: Loop-thread metrics (request timings, timeout counts).
+        self.control = MetricsRecorder()
+        self.pool: Optional[WorkerPool] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._started_at = 0.0
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves 0 → the ephemeral port chosen)."""
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the listener and spin up the worker pool."""
+        cfg = self.config
+        self.pool = WorkerPool(
+            cfg.workers,
+            queue_size=cfg.queue_size,
+            batch_max=cfg.batch_max,
+            engine_cache=cfg.engine_cache,
+            retry_after=cfg.retry_after,
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=cfg.host, port=cfg.port
+        )
+        self._started_at = time.monotonic()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: stop accepting, drain, join workers."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.pool is not None and drain:
+            deadline = time.monotonic() + self.config.drain_timeout
+            while self.pool.inflight() > 0 and time.monotonic() < deadline:
+                await asyncio.sleep(0.02)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self.pool is not None:
+            self.pool.shutdown()
+
+    def metrics(self) -> Metrics:
+        """One merged snapshot: loop-side + every worker's metrics."""
+        merged = self.control.metrics.copy()
+        if self.pool is not None:
+            merged.merge_in_place(self.pool.metrics())
+        return merged
+
+    # -- HTTP plumbing ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except (asyncio.CancelledError, asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            parts = request_line.decode("latin-1").strip().split()
+            if len(parts) != 3:
+                await self._respond(
+                    writer, *wire.route_error(400, "malformed request line"), close=True
+                )
+                return
+            method, target, _version = parts
+            headers: Dict[str, str] = {}
+            for _ in range(_MAX_HEADERS):
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            try:
+                length = int(headers.get("content-length", "0"))
+            except ValueError:
+                length = -1
+            if length < 0 or length > self.config.max_body:
+                await self._respond(
+                    writer,
+                    *wire.route_error(413, f"body exceeds {self.config.max_body} bytes"),
+                    close=True,
+                )
+                return
+            body = await reader.readexactly(length) if length else b""
+            keep_alive = (
+                headers.get("connection", "").lower() != "close"
+                and not self._draining
+            )
+            status, payload, extra = await self._dispatch(method, target, body)
+            await self._respond(writer, status, payload, extra, close=not keep_alive)
+            if not keep_alive:
+                return
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Dict[str, str],
+        *,
+        close: bool,
+    ) -> None:
+        blob = json.dumps(payload).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {wire.reason(status)}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(blob)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + blob)
+        await writer.drain()
+
+    # -- routing ---------------------------------------------------------
+
+    def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[str, Dict[str, Any], str, Optional[str]]:
+        """Map an HTTP request to ``(kind, payload, affinity, coalesce)``.
+
+        Stateless requests (detect/simulate/evaluate) coalesce on their
+        content digest; session requests never coalesce (each delta is a
+        distinct state transition) and shard on the session name, so one
+        session's whole lifetime stays on one worker.
+        """
+        segments = [s for s in path.split("/") if s]
+        if method == "POST" and segments == ["v1", "detect"]:
+            payload = wire.parse_body(body)
+            digest = wire.payload_digest(payload)
+            return "detect", payload, digest, digest
+        if method == "POST" and segments == ["v1", "simulate"]:
+            payload = wire.parse_body(body)
+            digest = wire.payload_digest(payload)
+            return "simulate", payload, digest, digest
+        if method == "POST" and segments == ["v1", "evaluate"]:
+            payload = wire.parse_body(body)
+            digest = wire.payload_digest(payload)
+            return "evaluate", payload, digest, digest
+        if method == "POST" and segments == ["v1", "sessions"]:
+            payload = wire.parse_body(body)
+            name = wire.require(payload, "session", str)
+            return "session.create", payload, f"session:{name}", None
+        if len(segments) == 3 and segments[:2] == ["v1", "sessions"]:
+            name = segments[2]
+            if method == "GET":
+                return "session.info", {"session": name}, f"session:{name}", None
+            if method == "DELETE":
+                return "session.close", {"session": name}, f"session:{name}", None
+        if (
+            len(segments) == 4
+            and segments[:2] == ["v1", "sessions"]
+            and segments[3] == "delta"
+            and method == "POST"
+        ):
+            payload = wire.parse_body(body)
+            payload["session"] = segments[2]
+            return "session.delta", payload, f"session:{segments[2]}", None
+        raise LookupError(f"no route for {method} {path}")
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        path = target.split("?", 1)[0]
+        if method == "GET" and path == "/v1/health":
+            return 200, self._health(), {}
+        if method == "GET" and path == "/v1/stats":
+            return 200, self._stats(), {}
+        start = time.perf_counter()
+        try:
+            if self._draining or self.pool is None:
+                raise ServerOverloadedError(
+                    "server is draining", retry_after=self.config.retry_after
+                )
+            try:
+                kind, payload, affinity, coalesce = self._route(method, path, body)
+            except LookupError as exc:
+                return wire.route_error(404, str(exc))
+            _, future = self.pool.submit(kind, payload, affinity, coalesce=coalesce)
+            try:
+                response = await asyncio.wait_for(
+                    asyncio.wrap_future(future), timeout=self.config.timeout
+                )
+            except asyncio.TimeoutError:
+                # wait_for cancelled the wrapper, which cancelled the
+                # pool future: if the worker has not claimed it yet, the
+                # stale computation is skipped entirely.
+                self.control.incr("serve.timeouts")
+                raise RequestTimeoutError(
+                    f"request exceeded the {self.config.timeout:g}s server timeout"
+                ) from None
+            self.control.timing(f"serve.http.{kind}", time.perf_counter() - start)
+            return 200, wire.envelope(response), {}
+        except Exception as exc:  # noqa: BLE001 — every failure becomes an envelope
+            return wire.error_envelope(exc)
+
+    def _health(self) -> Dict[str, Any]:
+        return wire.envelope(
+            {
+                "status": "draining" if self._draining else "ok",
+                "workers": self.config.workers,
+                "uptime": time.monotonic() - self._started_at,
+            }
+        )
+
+    def _stats(self) -> Dict[str, Any]:
+        snapshot = self.metrics()
+        return wire.envelope(
+            {
+                "metrics": snapshot.to_dict(),
+                "queue_depth": self.pool.queue_depth() if self.pool else 0,
+                "inflight": self.pool.inflight() if self.pool else 0,
+                "sessions": self.pool.session_count() if self.pool else 0,
+            }
+        )
+
+
+# ---------------------------------------------------------------------------
+# Embedding helpers (tests, benchmarks, notebooks)
+# ---------------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A server running on a background thread; context-manager friendly."""
+
+    def __init__(self, server: DetectionServer, loop, thread) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server.config.host}:{self.server.port}"
+
+    def metrics(self) -> Metrics:
+        return self.server.metrics()
+
+    def stop(self, drain: bool = True) -> None:
+        """Gracefully stop the server and join its thread."""
+        if self._thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(drain), self._loop)
+        try:
+            future.result(timeout=self.server.config.drain_timeout + 10.0)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def start_in_thread(config: Optional[ServeConfig] = None) -> ServerHandle:
+    """Run a :class:`DetectionServer` on a dedicated event-loop thread.
+
+    The embedding entry point: binds (ephemeral port by default),
+    returns once the listener is accepting. Use as a context manager::
+
+        with start_in_thread() as handle:
+            client = ServeClient(handle.url)
+            ...
+    """
+    import threading
+
+    server = DetectionServer(config)
+    started = threading.Event()
+    failure: Dict[str, BaseException] = {}
+    holder: Dict[str, Any] = {}
+
+    def _run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        holder["loop"] = loop
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # surfaced to the caller below
+            failure["exc"] = exc
+            started.set()
+            loop.close()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-serve-loop", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30.0):
+        raise RuntimeError("serve event loop failed to start within 30s")
+    if "exc" in failure:
+        raise failure["exc"]
+    return ServerHandle(server, holder["loop"], thread)

@@ -6,7 +6,12 @@ and :mod:`repro.stream.events` for the JSONL event-log format.
 """
 
 from repro.stream.delta import SnapshotDelta, apply_delta
-from repro.stream.engine import DeltaReport, StreamingDetectionEngine, StreamStep
+from repro.stream.engine import (
+    DeltaReport,
+    StreamingDetectionEngine,
+    StreamReplay,
+    StreamStep,
+)
 from repro.stream.events import (
     EVENT_LOG_FORMAT,
     EventLog,
@@ -20,6 +25,7 @@ __all__ = [
     "apply_delta",
     "DeltaReport",
     "StreamStep",
+    "StreamReplay",
     "StreamingDetectionEngine",
     "EVENT_LOG_FORMAT",
     "EventLog",

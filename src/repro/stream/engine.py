@@ -46,9 +46,11 @@ zero is a normal state, not a caller bug.
 
 from __future__ import annotations
 
+import time
 from collections import deque
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Union, overload
 
 from repro.core.baselines import DetectionResult
 from repro.core.rid import RIDConfig
@@ -80,6 +82,60 @@ class StreamStep:
     result: DetectionResult
     reused_artifacts: int
     computed_artifacts: int
+
+
+class StreamReplay(Sequence):
+    """Outcome of :meth:`StreamingDetectionEngine.replay`.
+
+    Sequence-compatible over the :class:`StreamStep` list — replays
+    still index, slice, iterate, and ``len()`` like the bare list the
+    method used to return — but the blessed accessors are named:
+
+    * :attr:`steps` — the underlying ``List[StreamStep]``, in order;
+    * :attr:`final` — the last step's :class:`DetectionResult` (what
+      ``steps[-1].result`` used to spell), ``None`` for empty replays;
+    * :attr:`latencies` — per-step wall-clock seconds (apply + detect),
+      aligned with :attr:`steps`.
+
+    Positional list assumptions (``replay == [...]``, ``list`` identity
+    checks) are deprecated in favour of ``.steps``.
+    """
+
+    __slots__ = ("steps", "latencies")
+
+    def __init__(
+        self, steps: List[StreamStep], latencies: Optional[List[float]] = None
+    ) -> None:
+        self.steps = steps
+        self.latencies = latencies if latencies is not None else [0.0] * len(steps)
+        if len(self.latencies) != len(steps):
+            raise ValueError(
+                f"latencies ({len(self.latencies)}) must align with steps "
+                f"({len(steps)})"
+            )
+
+    @property
+    def final(self) -> Optional[DetectionResult]:
+        """The last step's detection result (``None`` when no deltas ran)."""
+        return self.steps[-1].result if self.steps else None
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @overload
+    def __getitem__(self, index: int) -> StreamStep: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> List[StreamStep]: ...
+
+    def __getitem__(self, index: Union[int, slice]):
+        return self.steps[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamReplay(steps={len(self.steps)}, "
+            f"final={None if self.final is None else self.final.method!r})"
+        )
 
 
 class StreamingDetectionEngine:
@@ -378,9 +434,19 @@ class StreamingDetectionEngine:
         budget: Optional[int] = None,
         recorder: Optional[Recorder] = None,
         runtime: Optional[RuntimeConfig] = None,
-    ) -> List[StreamStep]:
-        """Run :meth:`step` for every delta, in order."""
-        return [
-            self.step(delta, budget=budget, recorder=recorder, runtime=runtime)
-            for delta in deltas
-        ]
+    ) -> StreamReplay:
+        """Run :meth:`step` for every delta, in order.
+
+        Returns a :class:`StreamReplay`: sequence-compatible with the
+        bare step list this method used to return, plus ``.final`` and
+        per-step ``.latencies``.
+        """
+        steps: List[StreamStep] = []
+        latencies: List[float] = []
+        for delta in deltas:
+            start = time.perf_counter()
+            steps.append(
+                self.step(delta, budget=budget, recorder=recorder, runtime=runtime)
+            )
+            latencies.append(time.perf_counter() - start)
+        return StreamReplay(steps, latencies)

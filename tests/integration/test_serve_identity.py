@@ -1,0 +1,220 @@
+"""Integration: served responses are bit-identical to direct library calls.
+
+This is the serving tier's acceptance gate. For every endpoint the wire
+payload coming back over HTTP must equal the canonical-JSON encoding of
+the same call made in-process — at ``workers=1`` and ``workers=2``
+(shard affinity must not change answers), cold and warm (cache reuse
+must not change answers).
+
+A real server runs on a background thread per fixture; the stdlib
+client talks to it over a loopback socket, so the HTTP framing, the
+wire schema, the worker pool, and the codecs are all on the hot path.
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.core.rid import RIDConfig
+from repro.diffusion.mfc import MFCModel
+from repro.errors import (
+    ConfigError,
+    EmptyInfectionError,
+    ServeClientError,
+    SessionExistsError,
+    SessionNotFoundError,
+)
+from repro.graphs.generators.random_graphs import signed_erdos_renyi
+from repro.serve import ServeClient, ServeConfig, start_in_thread
+from repro.stream import StreamingDetectionEngine, synthetic_stream
+from repro.types import NodeState
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.fixture(scope="module", params=[1, 2], ids=["workers=1", "workers=2"])
+def served(request):
+    config = ServeConfig(workers=request.param, timeout=120.0)
+    with start_in_thread(config) as handle:
+        with ServeClient(handle.url) as client:
+            yield client, handle
+
+
+@pytest.fixture(scope="module")
+def network():
+    return signed_erdos_renyi(
+        50, 0.09, positive_probability=0.8, weight_range=(0.1, 0.6), rng=5
+    )
+
+
+@pytest.fixture(scope="module")
+def infected(network):
+    cascade = MFCModel(alpha=3.0).run(
+        network, {0: NodeState.POSITIVE, 7: NodeState.NEGATIVE}, rng=11
+    )
+    return cascade.infected_network(network)
+
+
+class TestDetectIdentity:
+    def test_served_detect_is_bit_identical(self, served, infected):
+        client, _ = served
+        direct = repro.detect(infected)
+        payload = client.detect(infected, raw=True)
+        assert canonical(payload["result"]) == canonical(direct.to_json())
+
+    def test_warm_replay_is_bit_identical(self, served, infected):
+        client, _ = served
+        direct = repro.detect(infected)
+        first = client.detect(infected, raw=True)
+        second = client.detect(infected, raw=True)
+        assert second["cache"]["graph"] == "hot"
+        assert canonical(first["result"]) == canonical(second["result"])
+        assert canonical(second["result"]) == canonical(direct.to_json())
+
+    def test_budget_and_config_forms(self, served, infected):
+        client, _ = served
+        config = RIDConfig(beta=0.09)
+        direct = repro.detect(infected, config=config, budget=5)
+        payload = client.detect(infected, budget=5, config=config, raw=True)
+        assert canonical(payload["result"]) == canonical(direct.to_json())
+
+    def test_decoded_result_matches_local_type(self, served, infected):
+        client, _ = served
+        result = client.detect(infected)
+        direct = repro.detect(infected)
+        assert result.initiators == direct.initiators
+        assert result.states == direct.states
+        assert result.objective == direct.objective
+
+
+class TestSimulateIdentity:
+    def test_single_cascade(self, served, network):
+        client, _ = served
+        seeds = {0: NodeState.POSITIVE, 7: NodeState.NEGATIVE}
+        direct = repro.simulate(network, seeds, rng=11)
+        remote = client.simulate(network, seeds, rng=11)
+        assert remote.events == direct.events
+        assert remote.final_states == direct.final_states
+
+    def test_multi_trial(self, served, network):
+        client, _ = served
+        seeds = {0: NodeState.POSITIVE}
+        direct = repro.simulate(network, seeds, trials=3, rng=9)
+        remote = client.simulate(network, seeds, trials=3, rng=9)
+        assert [r.events for r in remote] == [d.events for d in direct]
+
+    def test_model_params_travel(self, served, network):
+        client, _ = served
+        seeds = {0: NodeState.POSITIVE}
+        direct = repro.simulate(network, seeds, model=MFCModel(alpha=2.0), rng=3)
+        remote = client.simulate(
+            network, seeds, model="mfc", params={"alpha": 2.0}, rng=3
+        )
+        assert remote.events == direct.events
+
+
+class TestStreamSessionIdentity:
+    def test_every_delta_matches_local_engine(self, served):
+        client, handle = served
+        snapshot, deltas = synthetic_stream(components=4, size=10, deltas=6, seed=3)
+        local = StreamingDetectionEngine(snapshot)
+        name = f"identity-{handle.server.config.workers}"
+        with client.open_session(name, snapshot) as session:
+            for delta in deltas:
+                remote = session.delta(delta)
+                step = local.step(delta)
+                assert canonical(remote["result"]) == canonical(
+                    step.result.to_json()
+                ), f"divergence at delta {remote['report']['delta_index']}"
+                assert remote["report"]["touched_nodes"] == step.report.touched_nodes
+                assert remote["detection"].initiators == step.result.initiators
+
+    def test_sessions_are_isolated_and_closeable(self, served):
+        client, handle = served
+        snapshot, deltas = synthetic_stream(components=3, size=8, deltas=1, seed=9)
+        name = f"iso-{handle.server.config.workers}"
+        session = client.open_session(name, snapshot)
+        assert client.session_info(name)["session"] == name
+        with pytest.raises(SessionExistsError):
+            client.open_session(name, snapshot)
+        session.delta(deltas[0])
+        assert session.close()["closed"] is True
+        with pytest.raises(SessionNotFoundError):
+            client.session_info(name)
+
+
+class TestEvaluateIdentity:
+    def test_aggregated_scores_match(self, served):
+        client, _ = served
+        from repro.core.rid import RID
+        from repro.experiments.config import WorkloadConfig
+
+        workload = WorkloadConfig(dataset="epinions", scale=0.004, seed=3)
+        direct = repro.evaluate(lambda: RID(RIDConfig()), workload, trials=2)
+        remote = client.evaluate(workload, trials=2)["evaluation"]
+        assert remote["f1"] == direct.f1
+        assert remote["precision"] == direct.precision
+        assert remote["seconds"] >= 0  # wall time is the one non-identical field
+
+
+class TestErrorSurface:
+    def test_config_error_maps_to_400(self, served, infected):
+        client, _ = served
+        with pytest.raises(ConfigError, match="alpha must be >= 1"):
+            client.detect(infected, config=RIDConfig(alpha=0.5))
+
+    def test_empty_infection_maps_to_422(self, served, network):
+        client, _ = served
+        from repro.graphs.signed_digraph import SignedDiGraph
+
+        with pytest.raises(EmptyInfectionError, match="no nodes"):
+            client.detect(SignedDiGraph())
+
+    def test_unknown_route_is_404(self, served):
+        client, _ = served
+        with pytest.raises(ServeClientError) as info:
+            client._request("GET", "/v2/detect")
+        assert info.value.status == 404
+
+    def test_bad_schema_tag_is_400(self, served):
+        client, _ = served
+        import http.client
+        import json as _json
+
+        conn = http.client.HTTPConnection(client.host, client.port, timeout=30)
+        try:
+            conn.request(
+                "POST", "/v1/detect", body=_json.dumps({"schema": "nope"}).encode()
+            )
+            response = conn.getresponse()
+            body = _json.loads(response.read())
+            assert response.status == 400
+            assert body["error"]["type"] == "WireFormatError"
+        finally:
+            conn.close()
+
+
+class TestOpsEndpoints:
+    def test_health_and_stats(self, served):
+        client, handle = served
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["workers"] == handle.server.config.workers
+        stats = client.stats()
+        assert stats["metrics"]["counters"]["serve.requests"] >= 1
+        assert "serve.queue_wait" in stats["metrics"]["timers"]
+        assert stats["inflight"] == 0
+
+
+class TestGracefulShutdown:
+    def test_stop_drains_and_reports_metrics(self, infected):
+        with start_in_thread(ServeConfig(workers=1, timeout=60.0)) as handle:
+            with ServeClient(handle.url) as client:
+                client.detect(infected)
+            handle.stop()
+            snapshot = handle.metrics()
+            assert snapshot.counters["serve.requests"] == 1.0
+        # double-stop is a no-op (the context exit above)

@@ -170,6 +170,57 @@ class TestEvaluate:
             repro.evaluate(RID(RIDConfig()), workload="fig4")
 
 
+class TestApiErrorPaths:
+    """The facade's rejection branches, each pinned to its message."""
+
+    def test_backend_with_detector_conflicts(self, network, cascade):
+        with pytest.raises(ConfigError, match="backend= configures RID"):
+            repro.detect(
+                network, cascade, detector=CertaintyCoverDetector(), backend="python"
+            )
+
+    def test_backend_with_model_instance_conflicts(self, network):
+        with pytest.raises(ConfigError, match="pass backend= to the model"):
+            repro.simulate(
+                network,
+                {0: NodeState.POSITIVE},
+                model=MFCModel(alpha=3.0),
+                backend="python",
+            )
+
+    def test_backend_with_kernel_free_model_name(self, network):
+        # LT does not run on the cascade kernel; the registry factory
+        # takes no backend= and the facade translates the TypeError.
+        with pytest.raises(ConfigError, match="does not run on the cascade kernel"):
+            repro.simulate(
+                network, {0: NodeState.POSITIVE}, model="lt", backend="numpy"
+            )
+
+    def test_unknown_model_of_wrong_type(self, network):
+        # Unhashable model values hit the registry's TypeError branch.
+        with pytest.raises(ConfigError, match="unknown diffusion model"):
+            repro.simulate(network, {0: NodeState.POSITIVE}, model=["mfc"])
+
+    def test_non_int_rng_with_trials(self, network):
+        with pytest.raises(ConfigError, match="integer base seed, got Random"):
+            import random
+
+            repro.simulate(
+                network, {0: NodeState.POSITIVE}, trials=2, rng=random.Random(1)
+            )
+
+    def test_config_plus_detector_conflict_message(self, network, cascade):
+        with pytest.raises(ConfigError, match="config= \\(for RID\\) or detector="):
+            repro.detect(
+                network, cascade, config=RIDConfig(), detector=CertaintyCoverDetector()
+            )
+
+    @pytest.mark.parametrize("workload", ["fig4", 7, None, {"dataset": "epinions"}])
+    def test_evaluate_rejects_unknown_workload_types(self, workload):
+        with pytest.raises(ConfigError, match="Workload or WorkloadConfig"):
+            repro.evaluate(RID(RIDConfig()), workload)
+
+
 class TestRIDConfigValidation:
     def test_invalid_config_raises_at_construction(self):
         with pytest.raises(ConfigError):
@@ -200,27 +251,26 @@ class TestBudgetKwargUnification:
             assert resolve_budget_kwargs(4) == 4
 
     @pytest.mark.parametrize("alias", ["k", "max_k"])
-    def test_legacy_aliases_warn_but_work(self, alias):
-        with pytest.warns(DeprecationWarning, match=alias + "="):
-            assert resolve_budget_kwargs(None, **{alias: 3}) == 3
+    def test_removed_aliases_raise_pointing_at_budget(self, alias):
+        # The k=/max_k= DeprecationWarning cycle is complete: the
+        # spellings are gone, and the error names the replacement.
+        with pytest.raises(ConfigError, match=r"pass budget=3"):
+            resolve_budget_kwargs(None, **{alias: 3})
 
-    def test_conflicting_budgets_raise(self):
-        with pytest.raises(ConfigError, match="conflicting initiator budgets"):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                resolve_budget_kwargs(2, k=3)
+    def test_removed_alias_raises_even_next_to_budget(self):
+        with pytest.raises(ConfigError, match="was removed"):
+            resolve_budget_kwargs(2, k=3)
 
     def test_missing_budget_raises(self):
         with pytest.raises(ConfigError, match="budget="):
             resolve_budget_kwargs(None)
 
-    def test_rid_detect_with_budget_accepts_legacy_k(self, network, cascade):
+    def test_rid_detect_with_budget_rejects_legacy_k(self, network, cascade):
         infected = cascade.infected_network(network)
         detector = RID(RIDConfig())
-        with pytest.warns(DeprecationWarning):
-            legacy = detector.detect_with_budget(infected, k=5)
-        modern = detector.detect_with_budget(infected, 5)
-        assert legacy.initiators == modern.initiators
+        with pytest.raises(ConfigError, match="rid.detect_with_budget\\(k=...\\)"):
+            detector.detect_with_budget(infected, k=5)
+        assert detector.detect_with_budget(infected, 5).initiators
 
     def test_effectors_legacy_kwarg(self):
         with pytest.warns(DeprecationWarning, match="k_per_component"):

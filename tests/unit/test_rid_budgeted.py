@@ -111,10 +111,9 @@ class TestEmptySnapshot:
         with pytest.raises(ConfigError, match=r"budget must be in \[0, 0\]"):
             RID().detect_with_budget(SignedDiGraph(), budget=1)
 
-    def test_deprecated_k_spelling_still_works_on_empty(self):
-        with pytest.warns(DeprecationWarning):
-            result = RID().detect_with_budget(SignedDiGraph(), k=0)
-        assert result.initiators == set()
+    def test_removed_k_spelling_raises_config_error(self):
+        with pytest.raises(ConfigError, match="pass budget=0"):
+            RID().detect_with_budget(SignedDiGraph(), k=0)
 
 
 class TestDiagnosticsConsistency:

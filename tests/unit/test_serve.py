@@ -1,0 +1,304 @@
+"""Unit tests for the serve worker pool: affinity, admission, batching.
+
+Socket-free — these drive :class:`repro.serve.pool.WorkerPool` directly
+(the HTTP layer is covered by ``tests/integration/test_serve_identity``).
+Controlled-latency handlers are injected through the HANDLERS registry
+so queue pressure and coalescing windows are deterministic, not
+timing-dependent.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.rid import RIDConfig
+from repro.errors import ConfigError, ServerOverloadedError, WireFormatError
+from repro.serve import wire
+from repro.serve.pool import HANDLERS, WorkerPool
+from repro.serve.server import ServeConfig
+from repro.stream.synthetic import synthetic_snapshot
+
+
+@pytest.fixture
+def pool():
+    p = WorkerPool(2, queue_size=4, batch_max=4)
+    yield p
+    p.shutdown()
+
+
+@pytest.fixture
+def blockable(monkeypatch):
+    """Register a handler that blocks until released; returns the gate."""
+    gate = threading.Event()
+
+    def _blocked(host, payload):
+        gate.wait(timeout=10.0)
+        return {"echo": payload.get("x"), "worker": host.index}
+
+    monkeypatch.setitem(HANDLERS, "test.block", _blocked)
+    return gate
+
+
+class TestShardAffinity:
+    def test_shard_is_stable_and_in_range(self, pool):
+        for key in ("a", "b", "session:s1", wire.payload_digest({"g": 1})):
+            first = pool.shard(key)
+            assert first == pool.shard(key)
+            assert 0 <= first < pool.workers
+
+    def test_same_graph_lands_on_same_worker(self, pool):
+        from repro.pipeline.cache import encode_graph
+
+        payload = {"graph": encode_graph(synthetic_snapshot(2, 6, seed=1))}
+        digest = wire.payload_digest(payload)
+        workers = set()
+        for _ in range(3):
+            index, future = pool.submit("detect", payload, digest)
+            future.result(timeout=30.0)
+            workers.add(index)
+        assert len(workers) == 1
+
+
+class TestAdmissionControl:
+    def test_full_queue_sheds_with_retry_after(self, blockable):
+        pool = WorkerPool(1, queue_size=2, batch_max=1, retry_after=2.0)
+        try:
+            _, running = pool.submit("test.block", {"x": 0}, "key")
+            deadline = time.monotonic() + 5.0
+            while pool.queue_depth() > 0 and time.monotonic() < deadline:
+                time.sleep(0.005)  # worker picks up the blocker
+            for i in (1, 2):  # fill the bounded queue
+                pool.submit("test.block", {"x": i}, "key")
+            with pytest.raises(ServerOverloadedError) as info:
+                pool.submit("test.block", {"x": 3}, "key")
+            assert info.value.retry_after == 2.0
+            assert pool.control.metrics.counters["serve.shed"] == 1.0
+            blockable.set()
+            assert running.result(timeout=10.0)["echo"] == 0
+        finally:
+            blockable.set()
+            pool.shutdown()
+
+    def test_submit_after_shutdown_sheds(self, pool):
+        pool.shutdown()
+        with pytest.raises(ServerOverloadedError, match="shutting down"):
+            pool.submit("detect", {}, "key")
+
+
+class TestCoalescing:
+    def test_identical_requests_compute_once(self, blockable, monkeypatch):
+        calls = []
+
+        def _counting(host, payload):
+            calls.append(payload["x"])
+            blockable.wait(timeout=10.0)
+            return {"echo": payload["x"]}
+
+        monkeypatch.setitem(HANDLERS, "test.count", _counting)
+        pool = WorkerPool(1, queue_size=16, batch_max=8)
+        try:
+            # The first request occupies the worker; the rest queue up
+            # and arrive in one batch where the duplicates coalesce.
+            _, first = pool.submit("test.block", {"x": "warm"}, "key")
+            time.sleep(0.05)
+            futures = [
+                pool.submit("test.count", {"x": 9}, "key", coalesce="same")[1]
+                for _ in range(4)
+            ]
+            blockable.set()
+            results = [f.result(timeout=10.0) for f in futures]
+            assert first.result(timeout=10.0)["echo"] == "warm"
+            assert all(r == {"echo": 9} for r in results)
+            assert len(calls) == 1
+            merged = pool.metrics()
+            assert merged.counters["serve.coalesced"] == 3.0
+        finally:
+            pool.shutdown()
+
+    def test_uncoalesced_requests_each_compute(self, pool):
+        from repro.pipeline.cache import encode_graph
+
+        payload = {"graph": encode_graph(synthetic_snapshot(2, 6, seed=1))}
+        digest = wire.payload_digest(payload)
+        futures = [
+            pool.submit("detect", payload, digest, coalesce=None)[1] for _ in range(3)
+        ]
+        results = [f.result(timeout=30.0) for f in futures]
+        assert len({id(r) for r in results}) == 3
+
+
+class TestAbandonedRequests:
+    def test_cancelled_future_is_skipped_not_computed(self, blockable, monkeypatch):
+        computed = []
+
+        def _tracking(host, payload):
+            computed.append(payload["x"])
+            return {"echo": payload["x"]}
+
+        monkeypatch.setitem(HANDLERS, "test.track", _tracking)
+        pool = WorkerPool(1, queue_size=8, batch_max=1)
+        try:
+            _, first = pool.submit("test.block", {"x": 0}, "key")
+            time.sleep(0.05)
+            _, doomed = pool.submit("test.track", {"x": "doomed"}, "key")
+            _, kept = pool.submit("test.track", {"x": "kept"}, "key")
+            assert doomed.cancel()  # the server's timeout path
+            blockable.set()
+            assert kept.result(timeout=10.0)["echo"] == "kept"
+            assert computed == ["kept"]
+            assert pool.metrics().counters["serve.abandoned"] == 1.0
+        finally:
+            blockable.set()
+            pool.shutdown()
+
+
+class TestWarmCaches:
+    def test_graph_and_engine_go_hot_on_second_request(self, pool):
+        from repro.pipeline.cache import encode_graph
+
+        payload = {"graph": encode_graph(synthetic_snapshot(3, 8, seed=2))}
+        digest = wire.payload_digest(payload)
+        _, cold = pool.submit("detect", payload, digest)
+        first = cold.result(timeout=30.0)
+        assert first["cache"]["graph"] == "cold"
+        assert first["cache"]["engine"] == "cold"
+        assert first["cache"]["computed_artifacts"] > 0
+        _, warm = pool.submit("detect", payload, digest)
+        second = warm.result(timeout=30.0)
+        assert second["cache"]["graph"] == "hot"
+        assert second["cache"]["engine"] == "hot"
+        assert second["cache"]["computed_artifacts"] == 0
+        assert second["cache"]["reused_artifacts"] == first["cache"]["computed_artifacts"]
+        assert second["result"] == first["result"]
+
+    def test_engine_cache_is_lru_bounded(self):
+        pool = WorkerPool(1, queue_size=16, engine_cache=1)
+        try:
+            from repro.pipeline.cache import encode_graph
+
+            payload = {"graph": encode_graph(synthetic_snapshot(2, 6, seed=3))}
+            digest = wire.payload_digest(payload)
+            for beta in (0.1, 0.2, 0.1):  # 0.1's detector evicted by 0.2
+                body = dict(payload, config={"beta": beta})
+                _, fut = pool.submit("detect", body, digest)
+                fut.result(timeout=30.0)
+            counters = pool.metrics().counters
+            assert counters["serve.engine_cache.misses"] == 3.0
+        finally:
+            pool.shutdown()
+
+
+class TestErrorsTravelThroughFutures:
+    def test_handler_error_resolves_the_future(self, pool):
+        _, fut = pool.submit("detect", {"graph": "nope"}, "key")
+        with pytest.raises(WireFormatError):
+            fut.result(timeout=10.0)
+        assert pool.metrics().counters["serve.errors"] == 1.0
+
+    def test_unknown_kind_is_a_wire_error(self, pool):
+        _, fut = pool.submit("test.nope", {}, "key")
+        with pytest.raises(WireFormatError, match="unknown request kind"):
+            fut.result(timeout=10.0)
+
+
+class TestDrain:
+    def test_drain_waits_for_inflight_work(self, blockable):
+        pool = WorkerPool(1, queue_size=4, batch_max=1)
+        try:
+            _, fut = pool.submit("test.block", {"x": 1}, "key")
+            assert not pool.drain(timeout=0.1)
+            blockable.set()
+            assert pool.drain(timeout=10.0)
+            assert fut.done()
+            assert pool.inflight() == 0
+        finally:
+            blockable.set()
+            pool.shutdown()
+
+
+class TestMetricsMerge:
+    def test_worker_metrics_fold_into_one_snapshot(self, pool):
+        from repro.pipeline.cache import encode_graph
+
+        for seed in (1, 2, 3):
+            payload = {"graph": encode_graph(synthetic_snapshot(2, 6, seed=seed))}
+            digest = wire.payload_digest(payload)
+            _, fut = pool.submit("detect", payload, digest)
+            fut.result(timeout=30.0)
+        merged = pool.metrics()
+        assert merged.counters["serve.requests"] == 3.0
+        assert merged.counters["serve.enqueued"] == 3.0
+        assert "serve.queue_wait" in merged.timers
+        assert "rid.trees" in merged.counters  # pipeline counters flow too
+
+
+class TestServeConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            ({"workers": 0}, "workers must be >= 1"),
+            ({"queue_size": 0}, "queue_size must be >= 1"),
+            ({"batch_max": 0}, "batch_max must be >= 1"),
+            ({"timeout": 0.0}, "timeout must be > 0"),
+            ({"max_body": 10}, "max_body must be >= 1024"),
+        ],
+    )
+    def test_out_of_range_settings(self, kwargs, message):
+        with pytest.raises(ConfigError, match=message):
+            ServeConfig(**kwargs).validate()
+
+    def test_defaults_validate(self):
+        ServeConfig().validate()
+
+
+class TestSessionHandlers:
+    def test_session_lifecycle_on_one_worker(self, pool):
+        from repro.pipeline.cache import encode_graph
+        from repro.stream.synthetic import synthetic_stream
+
+        snapshot, deltas = synthetic_stream(components=3, size=8, deltas=2, seed=5)
+        key = "session:lifecycle"
+        create = {"session": "lifecycle", "graph": encode_graph(snapshot)}
+        _, fut = pool.submit("session.create", create, key)
+        info = fut.result(timeout=30.0)
+        assert info["components"] >= 1
+        for delta in deltas:
+            body = {"session": "lifecycle", "delta": delta.to_json()}
+            _, fut = pool.submit("session.delta", body, key)
+            step = fut.result(timeout=30.0)
+            assert step["result"]["format"] == "repro.detection-result/v1"
+            assert step["report"]["total_components"] >= 1
+        assert pool.session_count() == 1
+        _, fut = pool.submit("session.close", {"session": "lifecycle"}, key)
+        assert fut.result(timeout=30.0)["closed"] is True
+        assert pool.session_count() == 0
+
+    def test_duplicate_and_missing_sessions(self, pool):
+        from repro.errors import SessionExistsError, SessionNotFoundError
+        from repro.pipeline.cache import encode_graph
+
+        snapshot = synthetic_snapshot(2, 6, seed=6)
+        key = "session:dup"
+        create = {"session": "dup", "graph": encode_graph(snapshot)}
+        pool.submit("session.create", create, key)[1].result(timeout=30.0)
+        _, fut = pool.submit("session.create", create, key)
+        with pytest.raises(SessionExistsError):
+            fut.result(timeout=30.0)
+        _, fut = pool.submit("session.delta", {"session": "ghost", "delta": {}}, key)
+        with pytest.raises(SessionNotFoundError):
+            fut.result(timeout=30.0)
+
+
+class TestConfigOnTheWireMatters:
+    def test_config_changes_the_detector(self, pool):
+        from repro.pipeline.cache import encode_graph
+
+        payload = {"graph": encode_graph(synthetic_snapshot(3, 10, seed=7))}
+        digest = wire.payload_digest(payload)
+        default = pool.submit("detect", payload, digest)[1].result(timeout=30.0)
+        heavy = dict(payload, config=wire.config_to_json(RIDConfig(beta=5.0)))
+        penalised = pool.submit("detect", heavy, digest)[1].result(timeout=30.0)
+        assert len(penalised["result"]["initiators"]) <= len(
+            default["result"]["initiators"]
+        )

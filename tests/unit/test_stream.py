@@ -14,6 +14,7 @@ from repro.stream import (
     EventLog,
     SnapshotDelta,
     StreamingDetectionEngine,
+    StreamReplay,
     apply_delta,
     read_event_log,
     synthetic_stream,
@@ -274,14 +275,58 @@ class TestStreamingEngine:
         self.assert_identical_to_cold(engine)
 
 
+class TestStreamReplay:
+    """The replay result object: sequence-compatible plus named views."""
+
+    def _replay(self, deltas=3, seed=2):
+        snapshot, stream = synthetic_stream(
+            components=2, size=6, deltas=deltas, seed=seed
+        )
+        return StreamingDetectionEngine(snapshot).replay(stream)
+
+    def test_is_a_sequence_over_steps(self):
+        replay = self._replay()
+        assert isinstance(replay, StreamReplay)
+        assert len(replay) == 3
+        assert list(replay) == replay.steps
+        assert replay[0] is replay.steps[0]
+        assert replay[-1] is replay.steps[-1]
+        assert replay[1:] == replay.steps[1:]
+        assert replay.steps[0] in replay
+
+    def test_final_is_last_step_result(self):
+        replay = self._replay()
+        assert replay.final is replay.steps[-1].result
+
+    def test_latencies_align_with_steps(self):
+        replay = self._replay()
+        assert len(replay.latencies) == len(replay.steps)
+        assert all(lat > 0.0 for lat in replay.latencies)
+
+    def test_empty_replay(self):
+        snapshot, _ = synthetic_stream(components=2, size=5, deltas=1, seed=3)
+        replay = StreamingDetectionEngine(snapshot).replay([])
+        assert len(replay) == 0
+        assert replay.final is None
+        assert replay.latencies == []
+
+    def test_misaligned_latencies_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            StreamReplay([], latencies=[0.1])
+
+
 class TestFacade:
     def test_detect_stream_accepts_deltas_iterable(self):
         snapshot, deltas = synthetic_stream(components=2, size=6, deltas=3, seed=2)
         import repro
 
-        steps = repro.detect_stream(deltas, snapshot)
-        assert len(steps) == 3
-        assert steps[-1].result.method.startswith("rid(")
+        replay = repro.detect_stream(deltas, snapshot)
+        assert isinstance(replay, StreamReplay)
+        assert len(replay) == 3
+        # Positional access stays sequence-compatible...
+        assert replay[-1].result.method.startswith("rid(")
+        # ...and the named accessor is the same object.
+        assert replay.final is replay[-1].result
 
     def test_detect_stream_requires_a_graph(self):
         with pytest.raises(ConfigError):
