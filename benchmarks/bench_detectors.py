@@ -1,0 +1,310 @@
+#!/usr/bin/env python
+"""Benchmark the detector zoo: accuracy vs budget, runtime vs size.
+
+Full mode compares every budget-capable registry detector on shallow
+multi-initiator cascades (sparse signed ER networks, MFC bounded to a
+few rounds — the regime where source structure survives in the infected
+snapshot) and on a size sweep:
+
+* **accuracy-vs-k** — plant 8 initiators, detect with budgets
+  ``k ∈ {8, 10, 12, 14}`` (clamped up to each detector's feasibility
+  floor), score precision/recall/F1 against the planted ground truth,
+  averaged over trials;
+* **runtime-vs-n** — open-ended ``detect`` wall time on growing
+  snapshots at roughly constant average degree.
+
+Two accuracy orderings are asserted before the report is written:
+RID stays the most accurate detector overall (it is the paper's
+method), and the two estimator additions — suspect-prior MAP and
+community multi-source — both beat the distance-center baseline on
+sweep-mean F1. Writes ``BENCH_detectors.json``:
+
+    PYTHONPATH=src python benchmarks/bench_detectors.py
+
+``--tiny`` is the CI gate, seconds-scale and timing-free:
+
+* registry-resolved ``'rid'`` must be bit-identical to a directly
+  built ``RID(config)`` (open-ended and budgeted, ``to_json`` compare);
+* served named-detector responses at ``workers=2`` must be
+  bit-identical to direct in-process calls, and tier routing must
+  follow the documented policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.components import infected_components
+from repro.core.rid import RID, RIDConfig
+from repro.detectors import resolve_detector
+from repro.diffusion.mfc import MFCModel
+from repro.diffusion.seeds import plant_random_initiators
+from repro.graphs.generators.random_graphs import signed_erdos_renyi
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.types import Node
+
+#: (registry name, config) — every budget-capable detector in the zoo.
+DETECTORS: List[Tuple[str, Optional[dict]]] = [
+    ("rid", None),
+    ("rumor_centrality", None),
+    ("jordan_center", None),
+    ("distance_center", None),
+    ("map_suspect", {"trials": 12, "candidate_limit": 16}),
+    ("multi_source", None),
+]
+
+BUDGETS = (8, 10, 12, 14)
+PLANTED = 8
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def identity_scores(detected: Set[Node], planted: Set[Node]) -> Tuple[float, float, float]:
+    tp = len(detected & planted)
+    precision = tp / len(detected) if detected else 0.0
+    recall = tp / len(planted) if planted else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return precision, recall, f1
+
+
+def shallow_workload(
+    trial: int, n: int = 500, planted: int = PLANTED
+) -> Tuple[SignedDiGraph, Set[Node]]:
+    """A multi-initiator snapshot whose cascade stopped after 4 rounds."""
+    network = signed_erdos_renyi(
+        n, 2.0 / n, positive_probability=0.85, weight_range=(0.5, 0.9),
+        rng=100 + trial,
+    )
+    seeds = plant_random_initiators(
+        network, planted, positive_ratio=0.7, rng=200 + trial
+    )
+    cascade = MFCModel(alpha=3.0, max_rounds=4).run(network, seeds, rng=300 + trial)
+    return cascade.infected_network(network), set(seeds)
+
+
+def feasibility_floor(name: str, infected: SignedDiGraph) -> int:
+    """The smallest budget a detector accepts on this snapshot."""
+    if name == "rid":
+        return len(RID(RIDConfig()).detect(infected).trees)
+    return len(list(infected_components(infected)))
+
+
+def bench_accuracy(trials: int) -> Dict[str, dict]:
+    """Mean precision/recall/F1 per detector per budget."""
+    samples: Dict[Tuple[str, int], List[Tuple[float, float, float]]] = {}
+    clamped: Dict[str, int] = {name: 0 for name, _ in DETECTORS}
+    for trial in range(trials):
+        infected, planted = shallow_workload(trial)
+        floors = {
+            name: feasibility_floor(name, infected) for name, _ in DETECTORS
+        }
+        for budget in BUDGETS:
+            for name, config in DETECTORS:
+                detector = resolve_detector(name, config)
+                feasible = max(budget, floors[name])
+                if feasible != budget:
+                    clamped[name] += 1
+                result = detector.detect_with_budget(infected, budget=feasible)
+                samples.setdefault((name, budget), []).append(
+                    identity_scores(result.initiators, planted)
+                )
+    curves: Dict[str, dict] = {}
+    for name, _ in DETECTORS:
+        by_budget = {}
+        for budget in BUDGETS:
+            rows = samples[(name, budget)]
+            by_budget[str(budget)] = {
+                "precision": round(sum(r[0] for r in rows) / len(rows), 4),
+                "recall": round(sum(r[1] for r in rows) / len(rows), 4),
+                "f1": round(sum(r[2] for r in rows) / len(rows), 4),
+            }
+        mean_f1 = sum(v["f1"] for v in by_budget.values()) / len(by_budget)
+        curves[name] = {
+            "by_budget": by_budget,
+            "mean_f1": round(mean_f1, 4),
+            "clamped_requests": clamped[name],
+        }
+    return curves
+
+
+def bench_runtime(sizes: Tuple[int, ...], reps: int) -> Dict[str, dict]:
+    """Cold open-ended detect wall time per detector per snapshot size.
+
+    Initiators scale with ``n`` so the infected snapshot actually grows;
+    a fresh detector per repetition keeps RID's artifact cache out of
+    the measurement (this is the cold path, warm serving latency is
+    ``bench_serve.py``'s job).
+    """
+    out: Dict[str, dict] = {name: {} for name, _ in DETECTORS}
+    for n in sizes:
+        infected, _ = shallow_workload(trial=0, n=n, planted=max(8, n // 40))
+        label = str(infected.number_of_nodes())
+        for name, config in DETECTORS:
+            elapsed = 0.0
+            for _ in range(reps):
+                detector = resolve_detector(name, config)
+                start = time.perf_counter()
+                detector.detect(infected)
+                elapsed += time.perf_counter() - start
+            out[name][label] = round(elapsed / reps, 5)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Tiny mode: the CI identity gates
+# ---------------------------------------------------------------------------
+
+
+def gate_registry_rid_identity() -> None:
+    """Registry 'rid' must be bit-identical to a directly built RID."""
+    from repro.experiments.config import WorkloadConfig
+    from repro.experiments.workload import build_workload
+
+    workload = build_workload(
+        WorkloadConfig(dataset="epinions", scale=0.003, seed=123)
+    )
+    config = RIDConfig(beta=0.8)
+    direct = RID(config).detect(workload.infected)
+    resolved = resolve_detector("rid", config).detect(workload.infected)
+    if canonical(resolved.to_json()) != canonical(direct.to_json()):
+        raise AssertionError("registry 'rid' diverged from direct RID(config)")
+    budget = len(direct.trees) + 2
+    direct_b = RID(config).detect_with_budget(workload.infected, budget=budget)
+    resolved_b = resolve_detector("rid", config).detect_with_budget(
+        workload.infected, budget=budget
+    )
+    if canonical(resolved_b.to_json()) != canonical(direct_b.to_json()):
+        raise AssertionError("registry 'rid' budgeted path diverged")
+    print(f"registry-rid identity: open-ended + budget={budget} ok")
+
+
+def gate_served_named_identity() -> None:
+    """Served named detectors at workers=2 must match direct calls."""
+    from repro.detectors.registry import TIER_ROUTING
+    from repro.serve import ServeClient, ServeConfig, start_in_thread
+
+    infected, _ = shallow_workload(trial=1, n=120)
+    named = [
+        ("jordan_center", None),
+        ("distance_center", None),
+        ("multi_source", None),
+        ("map_suspect", {"trials": 2, "candidate_limit": 4}),
+    ]
+    config = ServeConfig(workers=2, timeout=120.0)
+    with start_in_thread(config) as handle:
+        with ServeClient(handle.url, timeout=120.0) as client:
+            for name, cfg in named:
+                direct = resolve_detector(name, cfg).detect(infected)
+                payload = client.detect(
+                    infected, detector=name, config=cfg, raw=True
+                )
+                if payload["detector"] != name:
+                    raise AssertionError(
+                        f"served detector echo {payload['detector']!r} != {name!r}"
+                    )
+                if canonical(payload["result"]) != canonical(direct.to_json()):
+                    raise AssertionError(
+                        f"served {name} diverged from the direct call"
+                    )
+            for tier, expected in TIER_ROUTING.items():
+                payload = client.detect(infected, tier=tier, raw=True)
+                if payload["detector"] != expected:
+                    raise AssertionError(
+                        f"tier {tier!r} routed to {payload['detector']!r}, "
+                        f"expected {expected!r}"
+                    )
+    print(f"served named-detector identity at workers=2: {len(named)} detectors + tier routing ok")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true", help="CI identity gate")
+    parser.add_argument("--trials", type=int, default=8)
+    parser.add_argument("--reps", type=int, default=2)
+    parser.add_argument("--out", default="BENCH_detectors.json")
+    args = parser.parse_args()
+
+    if args.tiny:
+        gate_registry_rid_identity()
+        gate_served_named_identity()
+        print("tiny gate: identity ok (no accuracy or timing assertions)")
+        return 0
+
+    print(f"accuracy-vs-k: {len(DETECTORS)} detectors x {args.trials} trials "
+          f"x budgets {list(BUDGETS)} ({PLANTED} planted initiators)")
+    accuracy = bench_accuracy(args.trials)
+    for name, curve in sorted(
+        accuracy.items(), key=lambda kv: -kv[1]["mean_f1"]
+    ):
+        print(f"  {name:18s} mean f1 {curve['mean_f1']:.3f}  "
+              + "  ".join(
+                  f"k={k}:{v['f1']:.3f}" for k, v in curve["by_budget"].items()
+              ))
+
+    sizes = (200, 400, 800, 1600)
+    print(f"runtime-vs-n: sizes {list(sizes)} (x{args.reps} reps)")
+    runtime = bench_runtime(sizes, args.reps)
+    for name, by_n in runtime.items():
+        print(f"  {name:18s} " + "  ".join(
+            f"n={n}:{s * 1000:.0f}ms" for n, s in by_n.items()
+        ))
+
+    ordering_failures = []
+    dc = accuracy["distance_center"]["mean_f1"]
+    if accuracy["map_suspect"]["mean_f1"] <= dc:
+        ordering_failures.append(
+            f"map_suspect mean f1 {accuracy['map_suspect']['mean_f1']} "
+            f"<= distance_center {dc}"
+        )
+    if accuracy["multi_source"]["mean_f1"] <= dc:
+        ordering_failures.append(
+            f"multi_source mean f1 {accuracy['multi_source']['mean_f1']} "
+            f"<= distance_center {dc}"
+        )
+    best = max(accuracy, key=lambda name: accuracy[name]["mean_f1"])
+    if best != "rid":
+        ordering_failures.append(f"rid is not the most accurate ({best} is)")
+    if ordering_failures:
+        for failure in ordering_failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+
+    report = {
+        "tiny": False,
+        "workload": {
+            "generator": "signed_erdos_renyi, avg degree 2, weights 0.5-0.9",
+            "model": "mfc(alpha=3, max_rounds=4)",
+            "planted_initiators": PLANTED,
+            "trials": args.trials,
+            "budgets": list(BUDGETS),
+            "note": "budgets are clamped up to each detector's feasibility "
+            "floor (rid: tree count; others: component count); "
+            "clamped_requests counts how often that happened",
+        },
+        "accuracy_vs_budget": accuracy,
+        "runtime_vs_n_seconds": runtime,
+        "assertions": {
+            "rid_most_accurate": True,
+            "map_suspect_beats_distance_center": True,
+            "multi_source_beats_distance_center": True,
+        },
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,13 +29,15 @@ Quickstart (the stable facade — see :mod:`repro.api`)::
 """
 
 from repro.api import detect, detect_stream, evaluate, simulate
-from repro.core.baselines import (
+from repro.core.rid import RID, RIDConfig
+from repro.detectors import (
     DetectionResult,
     Detector,
     RIDPositiveDetector,
     RIDTreeDetector,
+    detector_names,
+    resolve_detector,
 )
-from repro.core.rid import RID, RIDConfig
 from repro.diffusion import (
     DiffusionResult,
     ICModel,
@@ -116,6 +118,8 @@ __all__ = [
     "DetectionResult",
     "RIDTreeDetector",
     "RIDPositiveDetector",
+    "detector_names",
+    "resolve_detector",
     "identity_metrics",
     "state_metrics",
     "RuntimeConfig",

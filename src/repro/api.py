@@ -32,11 +32,15 @@ that cycle — pass ``budget=``).
 from __future__ import annotations
 
 import dataclasses
-import inspect
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.core.baselines import DetectionResult, Detector
+from repro.detectors.base import DetectionResult, Detector
+from repro.detectors.registry import (
+    canonical_detector_name,
+    coerce_detector_config,
+    resolve_detector,
+)
 from repro.core.rid import RID, RIDConfig
 from repro.diffusion.base import DiffusionModel, DiffusionResult
 from repro.diffusion.ic import ICModel
@@ -127,26 +131,88 @@ def infected_snapshot(graph: SignedDiGraph, snapshot: Snapshot) -> SignedDiGraph
     return sub
 
 
-def _call_detector(method, *args, runtime, recorder):
-    """Invoke a detector entry point, forwarding ``runtime=`` only when
-    the detector's signature accepts it (third-party/baseline detectors
-    predate the keyword)."""
-    if runtime is not None:
-        try:
-            accepts = "runtime" in inspect.signature(method).parameters
-        except (TypeError, ValueError):
-            accepts = False
-        if accepts:
-            return method(*args, runtime=runtime, recorder=recorder)
-    return method(*args, recorder=recorder)
+def _invoke(method, *args, runtime, recorder):
+    """Invoke a detector entry point under the unified keyword protocol.
+
+    Every :class:`Detector` accepts ``runtime=`` — it either honours it
+    (RID) or rejects it with :class:`ConfigError`
+    (:func:`repro.detectors.base.check_runtime`). A third-party detector
+    that predates the keyword surfaces as :class:`ConfigError` too: the
+    facade never silently drops a runtime the caller asked for.
+    """
+    if runtime is None:
+        return method(*args, recorder=recorder)
+    try:
+        return method(*args, runtime=runtime, recorder=recorder)
+    except TypeError as exc:
+        if "runtime" in str(exc):
+            raise ConfigError(
+                f"{getattr(method, '__qualname__', method)!r} does not "
+                "accept runtime=; detectors must honour the keyword or "
+                "reject it explicitly (repro.detectors.base.check_runtime) "
+                "— drop runtime= to run this detector"
+            ) from None
+        raise
+
+
+def _resolve_api_detector(
+    detector: Union[str, Detector, None],
+    config,
+    backend: Optional[str],
+) -> Tuple[Detector, str]:
+    """Resolve :func:`detect`'s ``detector=``/``config=``/``backend=`` trio.
+
+    Returns the detector instance and its registry (or instance) name.
+    ``detector=None`` is the RID default path — kept structurally
+    identical to the pre-registry facade so results stay bit-identical.
+    """
+    if detector is None:
+        config = config or RIDConfig()
+        if not isinstance(config, RIDConfig):
+            raise ConfigError(
+                "config= without detector= configures RID and must be a "
+                "RIDConfig; pass detector='<name>' to configure another "
+                "registry entry"
+            )
+        if backend is not None:
+            config = dataclasses.replace(config, backend=backend)
+        return RID(config), "rid"
+    if isinstance(detector, str):
+        name = canonical_detector_name(detector)
+        resolved_config = coerce_detector_config(name, config)
+        if backend is not None:
+            if name != "rid":
+                raise ConfigError(
+                    "backend= selects RID's kernel backend; detector "
+                    f"{name!r} has no kernel stage"
+                )
+            resolved_config = dataclasses.replace(
+                resolved_config, backend=backend
+            )
+        return resolve_detector(name, resolved_config), name
+    if isinstance(detector, Detector):
+        if config is not None:
+            raise ConfigError(
+                "pass config= or a pre-built detector instance, not both; "
+                "the instance already carries its configuration"
+            )
+        if backend is not None:
+            raise ConfigError(
+                "backend= configures RID; pass it to your detector instead"
+            )
+        return detector, getattr(detector, "name", "detector")
+    raise ConfigError(
+        "detector must be a registry name, a Detector instance, or None, "
+        f"got {type(detector).__name__}"
+    )
 
 
 def detect(
     graph: SignedDiGraph,
     snapshot: Snapshot = None,
     *,
-    config: Optional[RIDConfig] = None,
-    detector: Optional[Detector] = None,
+    config=None,
+    detector: Union[str, Detector, None] = None,
     budget: Optional[int] = None,
     backend: Optional[str] = None,
     runtime: Optional[RuntimeConfig] = None,
@@ -158,54 +224,64 @@ def detect(
         graph: the diffusion network (or, with ``snapshot=None``, the
             infected network itself).
         snapshot: the observation — see :func:`infected_snapshot`.
-        config: RID hyper-parameters (validated eagerly; default
-            :class:`RIDConfig`). Ignored when ``detector`` is given.
-        detector: run this detector instead of RID (any object honouring
-            the :class:`~repro.core.baselines.Detector` protocol).
+        config: detector hyper-parameters. Without ``detector=`` this is
+            RID's :class:`RIDConfig` (default constructed); with a
+            registry name it is that entry's config dataclass, a dict of
+            its fields, or ``None`` for defaults. Invalid alongside a
+            pre-built detector instance.
+        detector: which detector to run — ``None`` (RID, the default), a
+            registry name (``'rid'``, ``'rumor_centrality'``,
+            ``'jordan_center'``, ``'distance_center'``, ``'map_suspect'``,
+            ``'multi_source'``, ...; see
+            :func:`repro.detectors.detector_names`), or a pre-built
+            :class:`~repro.detectors.Detector` instance.
         budget: when given, detect exactly this many initiators via
-            ``detect_with_budget`` (RID's exact knapsack).
+            ``detect_with_budget`` (RID's exact knapsack; score-ranked
+            selection for the centrality family).
         backend: kernel execution backend for RID's TreeDP stage
             (``'python'``, ``'numpy'``, ``'auto'``; see
             :mod:`repro.kernel.backends`). Shorthand for
-            ``RIDConfig(backend=...)``; incompatible with ``detector=``.
-        runtime: execution configuration for detectors that support it
-            (RID fans per-component/per-tree work units over the process
-            pool and persists stage artifacts under ``cache_dir``);
-            silently ignored for detectors that don't take ``runtime=``.
+            ``RIDConfig(backend=...)``; only valid when the resolved
+            detector is RID.
+        runtime: execution configuration. RID honours it (per-component
+            fan-out, artifact persistence under ``cache_dir``); every
+            other detector rejects a non-inert runtime with
+            :class:`ConfigError` — it is never silently dropped.
         recorder: observability sink, installed as the ambient recorder
-            for the whole call.
+            for the whole call (``detector.*`` request counters land
+            here).
 
     Returns:
         The :class:`DetectionResult` with initiator identities, inferred
         states (where the detector provides them), and cascade trees.
     """
-    if detector is None:
-        config = config or RIDConfig()
-        if backend is not None:
-            config = dataclasses.replace(config, backend=backend)
-        detector = RID(config)
-    elif config is not None:
-        raise ConfigError("pass either config= (for RID) or detector=, not both")
-    elif backend is not None:
-        raise ConfigError("backend= configures RID; pass it to your detector instead")
     rec = resolve_recorder(recorder)
     with using_recorder(rec):
+        resolved, name = _resolve_api_detector(detector, config, backend)
+        if rec.enabled:
+            rec.incr("detector.requests")
+            rec.incr(f"detector.{name}.requests")
         infected = infected_snapshot(graph, snapshot)
         if budget is not None:
-            return _call_detector(
-                detector.detect_with_budget, infected, budget,
+            result = _invoke(
+                resolved.detect_with_budget, infected, budget,
                 runtime=runtime, recorder=rec,
             )
-        return _call_detector(
-            detector.detect, infected, runtime=runtime, recorder=rec
-        )
+        else:
+            result = _invoke(
+                resolved.detect, infected, runtime=runtime, recorder=rec
+            )
+        if rec.enabled:
+            rec.incr("detector.initiators", result.num_detected())
+        return result
 
 
 def detect_stream(
     events,
     graph: Optional[SignedDiGraph] = None,
     *,
-    config: Optional[RIDConfig] = None,
+    config=None,
+    detector: Union[str, Detector, None] = None,
     budget: Optional[int] = None,
     backend: Optional[str] = None,
     runtime: Optional[RuntimeConfig] = None,
@@ -228,10 +304,17 @@ def detect_stream(
             :class:`~repro.stream.delta.SnapshotDelta`.
         graph: the initial network. Optional when the event log carries
             its own snapshot record; required otherwise.
-        config: RID hyper-parameters (default :class:`RIDConfig`).
-        budget: when given, every re-detection runs the exact-k knapsack
-            with this budget instead of β-penalised selection.
-        backend: kernel backend shorthand, as in :func:`detect`.
+        config: detector hyper-parameters, resolved exactly as in
+            :func:`detect` (RID's :class:`RIDConfig` by default; the
+            named entry's config with ``detector=``).
+        detector: which detector re-detects after each delta — ``None``
+            or ``'rid'`` keeps the incremental RID path (per-component
+            artifact reuse); any other registry name or pre-built
+            instance re-detects on the materialised snapshot per step.
+        budget: when given, every re-detection runs budgeted detection
+            with this budget instead of the detector's open-ended rule.
+        backend: kernel backend shorthand, as in :func:`detect` (RID
+            path only).
         runtime: execution configuration (worker fan-out applies to the
             dirty components of each step).
         recorder: observability sink for the whole replay (the
@@ -262,12 +345,22 @@ def detect_stream(
             "detect_stream needs an initial network: pass graph= or an event "
             "log whose first record is a snapshot"
         )
-    config = config or RIDConfig()
-    if backend is not None:
-        config = dataclasses.replace(config, backend=backend)
     rec = resolve_recorder(recorder)
     with using_recorder(rec):
-        engine = StreamingDetectionEngine(graph, config=config, runtime=runtime)
+        resolved, name = _resolve_api_detector(detector, config, backend)
+        if rec.enabled:
+            rec.incr("detector.requests")
+            rec.incr(f"detector.{name}.requests")
+        if name == "rid":
+            # Hand RID's config (not the instance) to the engine so the
+            # incremental per-component artifact path stays in charge.
+            engine = StreamingDetectionEngine(
+                graph, config=resolved.config, runtime=runtime
+            )
+        else:
+            engine = StreamingDetectionEngine(
+                graph, detector=resolved, runtime=runtime
+            )
         return engine.replay(deltas, budget=budget, recorder=rec)
 
 
@@ -325,14 +418,18 @@ def evaluate(
     runtime: Optional[RuntimeConfig] = None,
     *,
     trials: int = 3,
+    config=None,
     recorder: Optional[Recorder] = None,
 ):
     """Score a detector against a ground-truthed workload.
 
     Args:
-        detector: a :class:`~repro.core.baselines.Detector` instance or
-            a zero-argument factory returning one (factories rebuild the
-            detector per trial, keeping per-run diagnostics separate).
+        detector: a registry name (``'rid'``, ``'jordan_center'``, ...;
+            see :func:`repro.detectors.detector_names`), a
+            :class:`~repro.detectors.Detector` instance, or a
+            zero-argument factory returning one (names and factories
+            rebuild the detector per trial, keeping per-run diagnostics
+            separate).
         workload: a materialised
             :class:`~repro.experiments.workload.Workload` (scored once,
             returning a
@@ -340,8 +437,12 @@ def evaluate(
             :class:`~repro.experiments.config.WorkloadConfig` (scored
             over ``trials`` derived workloads, returning an
             :class:`~repro.experiments.runner.AggregatedEvaluation`).
-        runtime: optional trial fan-out configuration (config form only).
+        runtime: execution configuration. Config form: trial fan-out.
+            Workload form: forwarded to the detector, which honours or
+            rejects it (:class:`ConfigError`) — never silently dropped.
         trials: number of derived workloads (config form only).
+        config: per-detector configuration (registry names only) — a
+            dict of config fields or the entry's config dataclass.
         recorder: observability sink, installed as the ambient recorder
             for the whole call.
     """
@@ -352,11 +453,25 @@ def evaluate(
     from repro.experiments.workload import Workload
 
     rec = resolve_recorder(recorder)
-    factory = detector if callable(detector) and not isinstance(detector, Detector) else None
+    if isinstance(detector, str):
+        name = canonical_detector_name(detector)
+        resolved_config = coerce_detector_config(name, config)
+        factory = lambda: resolve_detector(name, resolved_config)  # noqa: E731
+    elif config is not None:
+        raise ConfigError(
+            "config= only applies to registry names; a detector instance "
+            "or factory already carries its configuration"
+        )
+    elif callable(detector) and not isinstance(detector, Detector):
+        factory = detector
+    else:
+        factory = None
     with using_recorder(rec):
         if isinstance(workload, Workload):
             instance = factory() if factory is not None else detector
-            return evaluate_detector(instance, workload, recorder=rec)
+            return evaluate_detector(
+                instance, workload, recorder=rec, runtime=runtime
+            )
         if isinstance(workload, WorkloadConfig):
             make = factory if factory is not None else (lambda: detector)
             name = getattr(make(), "name", "detector")

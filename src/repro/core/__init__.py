@@ -14,8 +14,9 @@ Pipeline stages (Sec. III-E), each its own module:
    for k-ISOMIT-BT (Sec. III-D);
 6. :mod:`~repro.core.rid` — β-penalised model selection tying it all
    together (Sec. III-E3);
-7. :mod:`~repro.core.baselines` — the paper's comparison methods
-   RID-Tree and RID-Positive;
+7. :mod:`repro.detectors` — the detector protocol and the paper's
+   comparison methods RID-Tree and RID-Positive (re-exported here; the
+   old :mod:`repro.core.baselines` location remains as a shim);
 8. :mod:`~repro.core.likelihood` — the MFC likelihood machinery
    (Sec. III-B) shared by the DP and by exact brute-force solvers;
 9. :mod:`~repro.core.exact` — exhaustive ISOMIT solvers certifying the
@@ -24,12 +25,6 @@ Pipeline stages (Sec. III-E), each its own module:
     MFC-rule completion.
 """
 
-from repro.core.baselines import (
-    DetectionResult,
-    Detector,
-    RIDPositiveDetector,
-    RIDTreeDetector,
-)
 from repro.core.cascade_forest import extract_cascade_forest
 from repro.core.components import infected_components, weakly_connected_components
 from repro.core.exact import exact_isomit_additive, exact_isomit_likelihood
@@ -41,6 +36,24 @@ from repro.core.likelihood import (
     path_probability,
 )
 from repro.core.rid import RID, RIDConfig
+
+#: Detector names re-exported lazily (PEP 562): the detectors package
+#: imports core's pipeline-stage modules, so an eager import here would
+#: be circular. ``from repro.core import Detector`` still works.
+_DETECTOR_EXPORTS = (
+    "DetectionResult",
+    "Detector",
+    "RIDPositiveDetector",
+    "RIDTreeDetector",
+)
+
+
+def __getattr__(name: str):
+    if name in _DETECTOR_EXPORTS:
+        import repro.detectors
+
+        return getattr(repro.detectors, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "RID",

@@ -1,285 +1,40 @@
-"""Detector interface and the paper's comparison methods (Sec. IV-B1).
+"""Deprecated location — the detector abstraction moved to
+:mod:`repro.detectors`.
 
-* :class:`RIDTreeDetector` — the first two stages of RID (component
-  detection + maximum-likelihood cascade-tree extraction); the extracted
-  tree roots are reported as the rumor initiators. Roots have no incoming
-  diffusion links from other infected users, so they are guaranteed true
-  initiators (precision 1) but recall is low.
-* :class:`RIDPositiveDetector` — the unsigned variant: negative links
-  are discarded entirely and the tree extraction runs on the positive
-  subnetwork only, generalising the unsigned effectors approach.
-
-Both baselines identify initiator *identities* only; per the paper they
-cannot infer initial states, so their results carry no state map.
+This module re-exports the old names so ``from repro.core.baselines
+import Detector`` keeps working, but new code should import from
+:mod:`repro.detectors.base` (protocol) and
+:mod:`repro.detectors.baselines` (the RID-Tree / RID-Positive
+comparison methods). No runtime warning is emitted — the shim is part
+of the compatibility contract, not a trap — but it receives no new
+names: everything added to the detector seam lands in
+:mod:`repro.detectors` only.
 """
 
-from __future__ import annotations
+from repro.detectors.base import (  # noqa: F401
+    DetectionResult,
+    Detector,
+    check_runtime,
+    empty_infection_budget_result,
+    require_infected,
+    resolve_budget_kwargs,
+)
+from repro.detectors.baselines import (  # noqa: F401
+    RIDPositiveConfig,
+    RIDPositiveDetector,
+    RIDTreeConfig,
+    RIDTreeDetector,
+)
 
-import abc
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
-
-from repro.core.binarize import find_tree_root
-from repro.core.cascade_forest import extract_cascade_forest
-from repro.errors import ConfigError, ResultFormatError
-from repro.graphs.signed_digraph import SignedDiGraph
-from repro.graphs.transforms import positive_subgraph
-from repro.obs.recorder import Recorder, resolve_recorder
-from repro.types import Node, NodeState
-
-
-def resolve_budget_kwargs(
-    budget: Optional[int],
-    k: Optional[int] = None,
-    max_k: Optional[int] = None,
-    method: str = "detect_with_budget",
-) -> int:
-    """Validate the unified ``budget=`` keyword.
-
-    Detectors grew up with three names for the same number — ``budget``
-    (RID's knapsack entry point), ``k`` (the k-ISOMIT problem
-    statement), and ``max_k`` (the extension detectors). The legacy two
-    went through a :class:`DeprecationWarning` cycle and are now
-    removed: passing either raises :class:`ConfigError` naming the
-    replacement, so stale call sites fail with a pointed message rather
-    than a generic ``TypeError``.
-
-    Raises:
-        ConfigError: when no budget is given, or a removed legacy
-            spelling (``k=``/``max_k=``) is used.
-    """
-    for name, value in (("k", k), ("max_k", max_k)):
-        if value is not None:
-            raise ConfigError(
-                f"{method}({name}=...) was removed after its deprecation "
-                f"cycle; pass budget={value!r} instead"
-            )
-    if budget is None:
-        raise ConfigError(f"{method}() needs an initiator budget (budget=...)")
-    return budget
-
-
-@dataclass
-class DetectionResult:
-    """Output of a rumor-initiator detector.
-
-    Attributes:
-        method: detector name.
-        initiators: detected initiator identities.
-        states: inferred initial states for detectors that provide them
-            (RID); empty for identity-only baselines.
-        trees: the cascade trees the detection was based on.
-        objective: detector-specific objective value, when meaningful.
-    """
-
-    method: str
-    initiators: Set[Node]
-    states: Dict[Node, NodeState] = field(default_factory=dict)
-    trees: List[SignedDiGraph] = field(default_factory=list)
-    objective: Optional[float] = None
-
-    def num_detected(self) -> int:
-        """Number of detected initiators."""
-        return len(self.initiators)
-
-    def to_dict(self) -> dict:
-        """JSON-ready summary (tree structures reduced to sizes).
-
-        Lossy by design — for logs and experiment tables. Use
-        :meth:`to_json` when the result must round-trip.
-        """
-        return {
-            "method": self.method,
-            "initiators": sorted(self.initiators, key=repr),
-            "states": {repr(n): int(s) for n, s in sorted(
-                self.states.items(), key=lambda kv: repr(kv[0])
-            )},
-            "num_trees": len(self.trees),
-            "tree_sizes": sorted(
-                (t.number_of_nodes() for t in self.trees), reverse=True
-            ),
-            "objective": self.objective,
-        }
-
-    # -- stable JSON codec ----------------------------------------------
-
-    #: Format tag stamped by :meth:`to_json`; :meth:`from_json` accepts
-    #: only this tag (shared with the ``repro.serve/v1`` wire schema).
-    JSON_FORMAT = "repro.detection-result/v1"
-
-    def to_json(self) -> dict:
-        """Full round-trip encoding, cascade trees included.
-
-        Initiators and states are emitted repr-sorted and node
-        identifiers as ``[typecode, value]`` pairs (the artifact-cache
-        codec), so encoding the same result always produces the same
-        JSON — the serving tier's identity gate compares these payloads
-        bit-for-bit. Inverse: :meth:`from_json`.
-
-        Raises:
-            CacheCodecError: when a node identifier is not int or str.
-        """
-        # Imported lazily: repro.pipeline imports this module back.
-        from repro.pipeline.cache import encode_graph
-        from repro.runtime.cache import _encode_node
-
-        return {
-            "format": self.JSON_FORMAT,
-            "method": self.method,
-            "initiators": [
-                _encode_node(n) for n in sorted(self.initiators, key=repr)
-            ],
-            "states": [
-                [_encode_node(n), int(s)]
-                for n, s in sorted(self.states.items(), key=lambda kv: repr(kv[0]))
-            ],
-            "trees": [encode_graph(t) for t in self.trees],
-            "objective": self.objective,
-        }
-
-    @classmethod
-    def from_json(cls, payload: dict) -> "DetectionResult":
-        """Inverse of :meth:`to_json`.
-
-        Raises:
-            ResultFormatError: on a non-dict payload, a wrong/missing
-                format tag, or malformed fields.
-        """
-        from repro.pipeline.cache import decode_graph
-        from repro.runtime.cache import _decode_node
-
-        if not isinstance(payload, dict) or payload.get("format") != cls.JSON_FORMAT:
-            raise ResultFormatError(
-                f"payload is not a serialised DetectionResult "
-                f"(expected format {cls.JSON_FORMAT!r})"
-            )
-        try:
-            objective = payload["objective"]
-            return cls(
-                method=payload["method"],
-                initiators={_decode_node(n) for n in payload["initiators"]},
-                states={
-                    _decode_node(n): NodeState(s) for n, s in payload["states"]
-                },
-                trees=[decode_graph(t) for t in payload["trees"]],
-                objective=None if objective is None else float(objective),
-            )
-        except (KeyError, TypeError, ValueError) as exc:
-            raise ResultFormatError(
-                f"malformed DetectionResult payload: {exc}"
-            ) from exc
-
-
-class Detector(abc.ABC):
-    """Abstract base for rumor-initiator detectors.
-
-    A detector consumes an infected diffusion network ``G_I`` — nodes
-    carrying observed states in ``{-1, +1}`` — and returns a
-    :class:`DetectionResult`.
-
-    The unified protocol (every implementation honours it):
-
-    * ``detect(infected, recorder=None)`` — open-ended detection; the
-      optional :class:`~repro.obs.recorder.Recorder` receives the
-      detector's stage spans and counters (ambient recorder used when
-      omitted).
-    * ``detect_with_budget(infected, budget=..., recorder=None)`` —
-      fixed-count detection for detectors that support it. The legacy
-      keyword spellings ``k=`` and ``max_k=`` completed their
-      deprecation cycle and now raise :class:`ConfigError` pointing at
-      ``budget=``.
-    """
-
-    name: str = "detector"
-
-    @abc.abstractmethod
-    def detect(
-        self, infected: SignedDiGraph, recorder: Optional[Recorder] = None
-    ) -> DetectionResult:
-        """Identify the most likely rumor initiators of ``infected``."""
-
-    def detect_with_budget(
-        self,
-        infected: SignedDiGraph,
-        budget: Optional[int] = None,
-        *,
-        k: Optional[int] = None,
-        max_k: Optional[int] = None,
-        recorder: Optional[Recorder] = None,
-    ) -> DetectionResult:
-        """Detect exactly ``budget`` initiators (where supported).
-
-        The base implementation rejects the call: only detectors that
-        can honour an exact count (RID's knapsack) override it.
-
-        Raises:
-            NotImplementedError: for detectors without budget support.
-            ConfigError: on a missing budget, or the removed ``k=`` /
-                ``max_k=`` legacy spellings.
-        """
-        resolve_budget_kwargs(budget, k=k, max_k=max_k)
-        raise NotImplementedError(
-            f"{self.name} does not support budgeted detection"
-        )
-
-
-class RIDTreeDetector(Detector):
-    """RID-Tree: cascade-tree roots as initiators.
-
-    Args:
-        score: arborescence score transform (``'log'`` likelihood-product
-            default, ``'raw'`` for the paper-literal Algorithm 3).
-    """
-
-    name = "rid-tree"
-
-    def __init__(self, score: str = "log", prune_inconsistent: bool = False) -> None:
-        self.score = score
-        self.prune_inconsistent = prune_inconsistent
-
-    def detect(
-        self, infected: SignedDiGraph, recorder: Optional[Recorder] = None
-    ) -> DetectionResult:
-        # No consistency pruning by default: the paper's guarantee that
-        # "the detected rumor initiators by RID-Tree are all real rumor
-        # initiators" is exactly the property of in-degree-0 nodes in the
-        # *unpruned* infected network (an infected node with no infected
-        # in-neighbour at all must be an initiator).
-        rec = resolve_recorder(recorder)
-        with rec.span("detect", method=self.name):
-            trees = extract_cascade_forest(
-                infected,
-                score=self.score,
-                prune_inconsistent=self.prune_inconsistent,
-                recorder=rec,
-            )
-            roots = {find_tree_root(tree) for tree in trees}
-        return DetectionResult(method=self.name, initiators=roots, trees=trees)
-
-
-class RIDPositiveDetector(Detector):
-    """RID-Positive: discard negative links, then take tree roots.
-
-    Dropping the negative links fragments the infected network into many
-    more components, so this baseline reports many more (and mostly
-    wrong) initiators — the high-recall / low-precision corner of
-    Figure 4.
-    """
-
-    name = "rid-positive"
-
-    def __init__(self, score: str = "log") -> None:
-        self.score = score
-
-    def detect(
-        self, infected: SignedDiGraph, recorder: Optional[Recorder] = None
-    ) -> DetectionResult:
-        rec = resolve_recorder(recorder)
-        with rec.span("detect", method=self.name):
-            positive_only = positive_subgraph(infected)
-            # The unsigned method of [13] is sign-blind: no consistency pruning.
-            trees = extract_cascade_forest(
-                positive_only, score=self.score, prune_inconsistent=False, recorder=rec
-            )
-            roots = {find_tree_root(tree) for tree in trees}
-        return DetectionResult(method=self.name, initiators=roots, trees=trees)
+__all__ = [
+    "DetectionResult",
+    "Detector",
+    "RIDPositiveConfig",
+    "RIDPositiveDetector",
+    "RIDTreeConfig",
+    "RIDTreeDetector",
+    "check_runtime",
+    "empty_infection_budget_result",
+    "require_infected",
+    "resolve_budget_kwargs",
+]

@@ -38,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.baselines import DetectionResult, Detector, resolve_budget_kwargs
+from repro.detectors.base import DetectionResult, Detector, resolve_budget_kwargs
 from repro.core.binarize import binarize_cascade_tree  # noqa: F401  (pipeline seam)
 from repro.core.tree_dp import KIsomitBTSolver, TreeDPResult  # noqa: F401  (pipeline seam)
 from repro.errors import ConfigError

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.baselines import DetectionResult
+from repro.detectors.base import DetectionResult
 from repro.core.binarize import binarize_cascade_tree
 from repro.core.cascade_forest import extract_cascade_forest
 from repro.core.tree_dp import KIsomitBTSolver, TreeDPResult

@@ -1,0 +1,91 @@
+"""The detector zoo: one home for every initiator-detection method.
+
+The package owns the detector abstraction (:mod:`repro.detectors.base`),
+the paper's comparison baselines (:mod:`repro.detectors.baselines`), the
+unsigned centrality classics (:mod:`repro.detectors.centrality`), the
+two literature estimators — suspect-prior MAP
+(:mod:`repro.detectors.map_suspect`) and community-partitioned
+multi-source identification (:mod:`repro.detectors.multi_source`) — and
+the string-addressable registry (:mod:`repro.detectors.registry`) every
+layer resolves ``detector="name"`` through:
+
+>>> import repro
+>>> repro.detect(snapshot, detector="rumor_centrality", budget=3)  # doctest: +SKIP
+
+RID itself lives in :mod:`repro.core.rid` (it is the paper's
+contribution, not a baseline) but subclasses the same
+:class:`Detector` protocol and is registered here under ``"rid"``.
+See docs/detectors.md for the registry table and tradeoffs.
+"""
+
+from repro.detectors.base import (
+    DetectionResult,
+    Detector,
+    check_runtime,
+    empty_infection_budget_result,
+    require_infected,
+    resolve_budget_kwargs,
+)
+from repro.detectors.baselines import (
+    RIDPositiveConfig,
+    RIDPositiveDetector,
+    RIDTreeConfig,
+    RIDTreeDetector,
+)
+from repro.detectors.centrality import (
+    CentralityConfig,
+    CentralityDetector,
+    DistanceCenterDetector,
+    JordanCenterDetector,
+    RumorCentralityDetector,
+    select_with_budget,
+    undirected_distances,
+)
+from repro.detectors.map_suspect import MapSuspectConfig, MapSuspectDetector
+from repro.detectors.multi_source import MultiSourceConfig, MultiSourceDetector
+from repro.detectors.registry import (
+    DETECTOR_REGISTRY,
+    TIER_ROUTING,
+    DetectorSpec,
+    canonical_detector_name,
+    coerce_detector_config,
+    detector_config_to_json,
+    detector_digest,
+    detector_names,
+    detector_spec,
+    resolve_detector,
+)
+
+__all__ = [
+    "DETECTOR_REGISTRY",
+    "TIER_ROUTING",
+    "CentralityConfig",
+    "CentralityDetector",
+    "DetectionResult",
+    "Detector",
+    "DetectorSpec",
+    "DistanceCenterDetector",
+    "JordanCenterDetector",
+    "MapSuspectConfig",
+    "MapSuspectDetector",
+    "MultiSourceConfig",
+    "MultiSourceDetector",
+    "RIDPositiveConfig",
+    "RIDPositiveDetector",
+    "RIDTreeConfig",
+    "RIDTreeDetector",
+    "RumorCentralityDetector",
+    "canonical_detector_name",
+    "check_runtime",
+    "coerce_detector_config",
+    "detector_config_to_json",
+    "detector_digest",
+    "detector_names",
+    "detector_spec",
+    "empty_infection_budget_result",
+    "require_infected",
+    "resolve_budget_kwargs",
+    "resolve_detector",
+    "select_with_budget",
+    "undirected_distances",
+]

@@ -1,0 +1,217 @@
+"""Centrality-based source detectors (unsigned classics, per component).
+
+Each detector scores every node of each infected connected component and
+nominates the per-component argmax as an initiator — the classic
+single-source assumption applied component-wise, giving them at least a
+fighting chance on multi-initiator snapshots.
+
+Budgeted detection (``detect_with_budget``) keeps the per-component
+argmax as the mandatory core (every component needs at least one
+explanation, mirroring RID's every-tree-needs-its-root feasibility
+rule) and spends any remaining budget on the globally best-scoring
+unselected nodes, ties broken repr-sorted. Feasible budgets therefore
+span ``[number of components, number of infected nodes]``.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, TYPE_CHECKING, Tuple
+
+from repro.core.components import infected_components
+from repro.detectors.base import (
+    DetectionResult,
+    Detector,
+    check_runtime,
+    empty_infection_budget_result,
+    require_infected,
+    resolve_budget_kwargs,
+)
+from repro.errors import ConfigError
+from repro.graphs.signed_digraph import SignedDiGraph
+from repro.obs.recorder import Recorder, resolve_recorder
+from repro.types import Node
+
+if TYPE_CHECKING:  # runtime import deferred — see repro.detectors.base
+    from repro.runtime.config import RuntimeConfig
+
+
+@dataclass
+class CentralityConfig:
+    """The centrality detectors take no hyper-parameters; this empty
+    config exists so every registry entry has a config dataclass and a
+    content digest."""
+
+    def validate(self) -> None:
+        """Nothing to check — kept for config-protocol uniformity."""
+
+
+def undirected_distances(graph: SignedDiGraph, source: Node) -> Dict[Node, int]:
+    """BFS hop distances from ``source`` over the undirected view."""
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def select_with_budget(
+    component_scores: List[Dict[Node, float]], budget: int, method: str
+) -> Set[Node]:
+    """Shared budgeted-selection rule for score-based detectors.
+
+    One mandatory argmax per component, then the remaining budget goes
+    to the globally best-scoring unselected nodes. Deterministic: all
+    ties break on ``repr`` order.
+
+    Raises:
+        ConfigError: when ``budget`` falls outside the feasible range
+            ``[len(component_scores), total node count]``.
+    """
+    total = sum(len(scores) for scores in component_scores)
+    low = len(component_scores)
+    if not low <= budget <= total:
+        raise ConfigError(
+            f"{method}: budget must be in [{low}, {total}] (one initiator "
+            f"per infected component, at most every scored node), got {budget}"
+        )
+    selected: Set[Node] = set()
+    for scores in component_scores:
+        best = max(sorted(scores, key=repr), key=lambda n: scores[n])
+        selected.add(best)
+    if budget > len(selected):
+        remainder: List[Tuple[float, str, Node]] = sorted(
+            (
+                (-score, repr(node), node)
+                for scores in component_scores
+                for node, score in scores.items()
+                if node not in selected
+            ),
+        )
+        for _neg_score, _key, node in remainder[: budget - len(selected)]:
+            selected.add(node)
+    return selected
+
+
+class CentralityDetector(Detector):
+    """Shared per-component argmax scaffolding."""
+
+    name = "centrality"
+
+    @abc.abstractmethod
+    def score_component(self, component: SignedDiGraph) -> Dict[Node, float]:
+        """Score every node of one component; higher = more source-like."""
+
+    def _component_scores(
+        self, infected: SignedDiGraph, rec: Recorder
+    ) -> List[Dict[Node, float]]:
+        scores: List[Dict[Node, float]] = []
+        for component in infected_components(infected):
+            with rec.span("centrality.score_component", method=self.name):
+                scores.append(self.score_component(component))
+        return scores
+
+    def detect(
+        self,
+        infected: SignedDiGraph,
+        recorder: Optional[Recorder] = None,
+        *,
+        runtime: Optional[RuntimeConfig] = None,
+    ) -> DetectionResult:
+        check_runtime(self.name, runtime)
+        require_infected(self.name, infected)
+        rec = resolve_recorder(recorder)
+        initiators: Set[Node] = set()
+        with rec.span("detect", method=self.name):
+            for scores in self._component_scores(infected, rec):
+                if scores:
+                    best = max(sorted(scores, key=repr), key=lambda n: scores[n])
+                    initiators.add(best)
+        return DetectionResult(method=self.name, initiators=initiators)
+
+    def detect_with_budget(
+        self,
+        infected: SignedDiGraph,
+        budget: Optional[int] = None,
+        *,
+        k: Optional[int] = None,
+        max_k: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
+        runtime: Optional[RuntimeConfig] = None,
+    ) -> DetectionResult:
+        """Detect exactly ``budget`` initiators by centrality score.
+
+        The per-component argmax set is mandatory (feasibility floor);
+        extra budget goes to the next-best scores across the whole
+        snapshot. ``budget=0`` on an empty snapshot returns an empty
+        result (the zoo-wide contract).
+        """
+        budget = resolve_budget_kwargs(
+            budget, k=k, max_k=max_k, method=f"{self.name}.detect_with_budget"
+        )
+        check_runtime(self.name, runtime)
+        empty = empty_infection_budget_result(self.name, infected, budget)
+        if empty is not None:
+            return empty
+        rec = resolve_recorder(recorder)
+        with rec.span("detect", method=self.name, budget=budget):
+            component_scores = self._component_scores(infected, rec)
+            initiators = select_with_budget(
+                component_scores, budget, method=self.name
+            )
+        return DetectionResult(
+            method=f"{self.name}(k={budget})", initiators=initiators
+        )
+
+
+class RumorCentralityDetector(CentralityDetector):
+    """Shah-Zaman rumor center of each component (BFS-tree heuristic)."""
+
+    name = "rumor-centrality"
+
+    def score_component(self, component: SignedDiGraph) -> Dict[Node, float]:
+        # Imported lazily: repro.extensions' package init imports the
+        # centrality shim, which imports this module back.
+        from repro.extensions.rumor_centrality import bfs_tree, rumor_centralities
+
+        nodes = sorted(component.nodes(), key=repr)
+        if len(nodes) == 1:
+            return {nodes[0]: 0.0}
+        scores: Dict[Node, float] = {}
+        for node in nodes:
+            tree = bfs_tree(component, node)
+            scores[node] = rumor_centralities(tree)[node]
+        return scores
+
+
+class JordanCenterDetector(CentralityDetector):
+    """Node minimising the maximum hop distance to infected nodes."""
+
+    name = "jordan-center"
+
+    def score_component(self, component: SignedDiGraph) -> Dict[Node, float]:
+        scores: Dict[Node, float] = {}
+        for node in component.nodes():
+            distances = undirected_distances(component, node)
+            eccentricity = max(distances.values()) if distances else 0
+            scores[node] = -float(eccentricity)
+        return scores
+
+
+class DistanceCenterDetector(CentralityDetector):
+    """Node minimising the summed hop distance to infected nodes."""
+
+    name = "distance-center"
+
+    def score_component(self, component: SignedDiGraph) -> Dict[Node, float]:
+        scores: Dict[Node, float] = {}
+        for node in component.nodes():
+            distances = undirected_distances(component, node)
+            scores[node] = -float(sum(distances.values()))
+        return scores

@@ -1,0 +1,345 @@
+"""String-addressable detector registry.
+
+Every detector the system can run is registered here under a canonical
+snake_case name (hyphens are accepted and normalised), together with its
+config dataclass, so each layer — the :func:`repro.detect` facade, the
+``--detector`` CLI flag, the ``repro.serve/v1`` wire schema, and the
+streaming engine — resolves names through one table:
+
+>>> detector = resolve_detector("rumor_centrality")
+>>> detector = resolve_detector("map_suspect", config={"trials": 16})
+
+:func:`detector_digest` gives a content-addressed identity for a
+``(name, config)`` pair — the key the serving tier's per-worker warm
+caches use, so two requests naming the same detector with the same
+hyper-parameters share a warm instance and different configs never
+collide.
+
+Tier routing (documented in docs/detectors.md): the serving layer maps
+``tier='fast'`` and ``tier='accurate'`` onto the registry entries in
+:data:`TIER_ROUTING` — a cheap sublinear-quality detector for latency-
+sensitive callers, the full RID pipeline for accuracy-sensitive ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.detectors.base import Detector
+from repro.errors import ConfigError
+from repro.obs.recorder import resolve_recorder
+from repro.runtime.cache import stable_digest
+
+
+@dataclasses.dataclass(frozen=True)
+class DetectorSpec:
+    """One registry row.
+
+    Attributes:
+        name: canonical registry name (snake_case).
+        config_factory: zero-arg callable returning the config *class*
+            (lazy, so importing the registry never pulls in the heavy
+            pipeline modules).
+        factory: builds the detector from a validated config instance.
+        tier: routing class — ``'fast'`` (sub-second heuristics) or
+            ``'accurate'`` (likelihood-grade pipelines).
+        supports_budget: whether ``detect_with_budget`` honours an exact
+            count (vs. raising ``NotImplementedError``).
+        description: one-liner for docs and CLI help.
+    """
+
+    name: str
+    config_factory: Callable[[], type]
+    factory: Callable[[Any], Detector]
+    tier: str
+    supports_budget: bool
+    description: str
+
+    @property
+    def config_cls(self) -> type:
+        return self.config_factory()
+
+
+def _rid_config():
+    from repro.core.rid import RIDConfig
+
+    return RIDConfig
+
+
+def _make_rid(config):
+    from repro.core.rid import RID
+
+    return RID(config)
+
+
+def _rid_tree_config():
+    from repro.detectors.baselines import RIDTreeConfig
+
+    return RIDTreeConfig
+
+
+def _make_rid_tree(config):
+    from repro.detectors.baselines import RIDTreeDetector
+
+    return RIDTreeDetector(
+        score=config.score, prune_inconsistent=config.prune_inconsistent
+    )
+
+
+def _rid_positive_config():
+    from repro.detectors.baselines import RIDPositiveConfig
+
+    return RIDPositiveConfig
+
+
+def _make_rid_positive(config):
+    from repro.detectors.baselines import RIDPositiveDetector
+
+    return RIDPositiveDetector(score=config.score)
+
+
+def _centrality_config():
+    from repro.detectors.centrality import CentralityConfig
+
+    return CentralityConfig
+
+
+def _make_rumor_centrality(_config):
+    from repro.detectors.centrality import RumorCentralityDetector
+
+    return RumorCentralityDetector()
+
+
+def _make_jordan_center(_config):
+    from repro.detectors.centrality import JordanCenterDetector
+
+    return JordanCenterDetector()
+
+
+def _make_distance_center(_config):
+    from repro.detectors.centrality import DistanceCenterDetector
+
+    return DistanceCenterDetector()
+
+
+def _map_suspect_config():
+    from repro.detectors.map_suspect import MapSuspectConfig
+
+    return MapSuspectConfig
+
+
+def _make_map_suspect(config):
+    from repro.detectors.map_suspect import MapSuspectDetector
+
+    return MapSuspectDetector(config)
+
+
+def _multi_source_config():
+    from repro.detectors.multi_source import MultiSourceConfig
+
+    return MultiSourceConfig
+
+
+def _make_multi_source(config):
+    from repro.detectors.multi_source import MultiSourceDetector
+
+    return MultiSourceDetector(config)
+
+
+#: The registry table — one row per runnable detector.
+DETECTOR_REGISTRY: Dict[str, DetectorSpec] = {
+    spec.name: spec
+    for spec in (
+        DetectorSpec(
+            name="rid",
+            config_factory=_rid_config,
+            factory=_make_rid,
+            tier="accurate",
+            supports_budget=True,
+            description="the paper's full pipeline: cascade trees + "
+            "k-ISOMIT DP + β-penalised selection",
+        ),
+        DetectorSpec(
+            name="rid_tree",
+            config_factory=_rid_tree_config,
+            factory=_make_rid_tree,
+            tier="fast",
+            supports_budget=False,
+            description="cascade-tree roots only (precision-1 baseline)",
+        ),
+        DetectorSpec(
+            name="rid_positive",
+            config_factory=_rid_positive_config,
+            factory=_make_rid_positive,
+            tier="fast",
+            supports_budget=False,
+            description="tree roots of the positive-only subnetwork",
+        ),
+        DetectorSpec(
+            name="rumor_centrality",
+            config_factory=_centrality_config,
+            factory=_make_rumor_centrality,
+            tier="accurate",
+            supports_budget=True,
+            description="Shah-Zaman rumor center per component "
+            "(BFS-tree heuristic)",
+        ),
+        DetectorSpec(
+            name="jordan_center",
+            config_factory=_centrality_config,
+            factory=_make_jordan_center,
+            tier="fast",
+            supports_budget=True,
+            description="minimax-distance center per component",
+        ),
+        DetectorSpec(
+            name="distance_center",
+            config_factory=_centrality_config,
+            factory=_make_distance_center,
+            tier="fast",
+            supports_budget=True,
+            description="min-sum-distance center per component",
+        ),
+        DetectorSpec(
+            name="map_suspect",
+            config_factory=_map_suspect_config,
+            factory=_make_map_suspect,
+            tier="accurate",
+            supports_budget=True,
+            description="Dong-style suspect-prior MAP via Monte-Carlo "
+            "forward simulation",
+        ),
+        DetectorSpec(
+            name="multi_source",
+            config_factory=_multi_source_config,
+            factory=_make_multi_source,
+            tier="accurate",
+            supports_budget=True,
+            description="Nguyen-style community split + per-community "
+            "Jordan centers",
+        ),
+    )
+}
+
+#: The serve layer's documented two-tier routing policy.
+TIER_ROUTING: Dict[str, str] = {
+    "fast": "distance_center",
+    "accurate": "rid",
+}
+
+
+def canonical_detector_name(name: str) -> str:
+    """Normalise a detector name (hyphens → underscores, lower-cased).
+
+    Raises:
+        ConfigError: when the name is not registered.
+    """
+    if not isinstance(name, str):
+        raise ConfigError(
+            f"detector name must be a string, got {type(name).__name__}"
+        )
+    canonical = name.strip().lower().replace("-", "_")
+    if canonical not in DETECTOR_REGISTRY:
+        raise ConfigError(
+            f"unknown detector {name!r}; registered detectors: "
+            f"{sorted(DETECTOR_REGISTRY)}"
+        )
+    return canonical
+
+
+def detector_names() -> List[str]:
+    """All registered canonical names, sorted."""
+    return sorted(DETECTOR_REGISTRY)
+
+
+def detector_spec(name: str) -> DetectorSpec:
+    """The registry row for ``name`` (any accepted spelling)."""
+    return DETECTOR_REGISTRY[canonical_detector_name(name)]
+
+
+def coerce_detector_config(name: str, config: Any = None) -> Any:
+    """Build the validated config instance a registry entry expects.
+
+    ``None`` means defaults; a dict is coerced field-checked (unknown
+    keys raise :class:`ConfigError` naming the valid fields); an
+    instance of the right dataclass passes through (validated).
+    """
+    spec = detector_spec(name)
+    cls = spec.config_cls
+    if config is None:
+        config = cls()
+    elif isinstance(config, dict):
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(config) - valid)
+        if unknown:
+            raise ConfigError(
+                f"unknown {cls.__name__} field(s) {unknown} for detector "
+                f"{spec.name!r}; valid fields: {sorted(valid)}"
+            )
+        config = cls(**config)
+    elif not isinstance(config, cls):
+        raise ConfigError(
+            f"detector {spec.name!r} takes a {cls.__name__} (or a dict of "
+            f"its fields, or None), got {type(config).__name__}"
+        )
+    config.validate()
+    return config
+
+
+def resolve_detector(
+    detector: Union[str, Detector], config: Any = None
+) -> Detector:
+    """Materialise a detector from a registry name (or pass one through).
+
+    Args:
+        detector: a canonical registry name (``'rid'``,
+            ``'rumor_centrality'``, ...; hyphen spellings accepted) or
+            an already-built :class:`Detector`, returned unchanged.
+        config: per-detector configuration — ``None`` (defaults), a dict
+            of config fields, or the entry's config dataclass instance.
+            Must be ``None`` when passing a pre-built detector.
+
+    Raises:
+        ConfigError: unknown name, wrong config type/fields, or a config
+            passed alongside a pre-built instance.
+    """
+    if isinstance(detector, Detector):
+        if config is not None:
+            raise ConfigError(
+                "config= only applies to registry names; the pre-built "
+                "detector instance already carries its configuration"
+            )
+        return detector
+    spec = detector_spec(detector)
+    resolved = coerce_detector_config(spec.name, config)
+    rec = resolve_recorder(None)
+    if rec.enabled:
+        rec.incr(f"detector.resolved.{spec.name}")
+    return spec.factory(resolved)
+
+
+def detector_config_to_json(config: Any) -> Optional[Dict[str, Any]]:
+    """Encode a detector config for the wire (None stays None)."""
+    if config is None:
+        return None
+    return dataclasses.asdict(config)
+
+
+def detector_digest(name: str, config: Any = None) -> str:
+    """Content-addressed identity of a ``(detector, config)`` pair.
+
+    Stable across processes and platforms (``repr``-based blake2b via
+    :func:`repro.runtime.cache.stable_digest`); the serving tier keys
+    its per-worker warm-detector caches with it, and any cache layered
+    on named detectors should too.
+    """
+    spec = detector_spec(name)
+    resolved = coerce_detector_config(spec.name, config)
+    fields: Tuple = tuple(
+        (f.name, repr(getattr(resolved, f.name)))
+        for f in dataclasses.fields(resolved)
+    )
+    return stable_digest(
+        "repro.detector/v1", spec.name, type(resolved).__name__, fields
+    )

@@ -10,6 +10,8 @@ Regenerates any of the paper's tables/figures from the terminal:
     repro-experiments lemma31
     repro-experiments ablations
     repro-experiments detect --scale 0.01
+    repro-experiments detect --detector jordan_center
+    repro-experiments evaluate --detector map_suspect --trials 3
     repro-experiments all --scale 0.005
 
 Observability (see :mod:`repro.obs` and docs/observability.md):
@@ -59,6 +61,7 @@ ARTEFACTS = (
     "sweeps",
     "detect",
     "detect-stream",
+    "evaluate",
     "all",
 )
 
@@ -98,6 +101,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel execution backend for cascades and the TreeDP stage "
         "(sets REPRO_KERNEL_BACKEND for this run; default: env or "
         "bit-identical python)",
+    )
+    parser.add_argument(
+        "--detector",
+        default=None,
+        metavar="NAME",
+        help="detect / detect-stream / evaluate: run this registry "
+        "detector instead of RID (see repro.detectors.detector_names(); "
+        "e.g. rumor_centrality, jordan_center, map_suspect)",
     )
     parser.add_argument(
         "--events",
@@ -142,6 +153,7 @@ def run_detect(
     seed: int,
     runtime: Optional[RuntimeConfig] = None,
     out: Optional[str] = None,
+    detector: Optional[str] = None,
 ) -> None:
     """One end-to-end plant → spread → detect run via the stable facade.
 
@@ -161,10 +173,11 @@ def run_detect(
 
     config = WorkloadConfig(dataset="epinions", scale=scale, seed=seed)
     workload = build_workload(config, trial=0)
-    result = api.detect(workload.infected, runtime=runtime)
+    result = api.detect(workload.infected, detector=detector, runtime=runtime)
     scores = identity_metrics(result.initiators, set(workload.seeds))
     print(
-        f"detect: {workload.infected.number_of_nodes()} infected nodes, "
+        f"detect [{result.method}]: "
+        f"{workload.infected.number_of_nodes()} infected nodes, "
         f"{len(workload.seeds)} planted, {len(result.initiators)} detected "
         f"(precision {scores.precision:.3f}, recall {scores.recall:.3f}, "
         f"f1 {scores.f1:.3f})"
@@ -180,6 +193,7 @@ def run_detect_stream(
     seed: int,
     runtime: Optional[RuntimeConfig] = None,
     out: Optional[str] = None,
+    detector: Optional[str] = None,
 ) -> None:
     """Replay an event log (or a synthetic stream), printing per-delta
     latency and artifact reuse.
@@ -217,7 +231,7 @@ def run_detect_stream(
         f"stream: {source}; initial snapshot "
         f"{snapshot.number_of_nodes()} nodes, {snapshot.number_of_edges()} edges"
     )
-    engine = StreamingDetectionEngine(snapshot, runtime=runtime)
+    engine = StreamingDetectionEngine(snapshot, detector=detector, runtime=runtime)
     steps, latencies = [], []
     for delta in stream:
         start = time.perf_counter()
@@ -259,6 +273,33 @@ def run_detect_stream(
             out,
         )
         print(f"final result written to {out}")
+
+
+def run_evaluate(
+    scale: float,
+    trials: int,
+    seed: int,
+    runtime: Optional[RuntimeConfig] = None,
+    detector: Optional[str] = None,
+) -> None:
+    """Trial-averaged scoring of one named detector via the facade.
+
+    ``--detector NAME`` picks any registry entry (default RID); scores
+    are averaged over ``--trials`` derived workloads.
+    """
+    from repro import api
+    from repro.experiments.config import WorkloadConfig
+
+    name = detector if detector is not None else "rid"
+    config = WorkloadConfig(dataset="epinions", scale=scale, seed=seed)
+    scores = api.evaluate(name, config, runtime, trials=trials)
+    accuracy = "-" if scores.accuracy is None else f"{scores.accuracy:.3f}"
+    print(
+        f"evaluate [{scores.method}]: {scores.trials} trials, "
+        f"precision {scores.precision:.3f}, recall {scores.recall:.3f}, "
+        f"f1 {scores.f1:.3f}, state accuracy {accuracy}, "
+        f"{scores.seconds:.2f}s/trial"
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -303,7 +344,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.artefact in ("sweeps", "all"):
             sweeps.main(seed=args.seed, scale=args.scale)
         if args.artefact == "detect":
-            run_detect(scale=args.scale, seed=args.seed, runtime=runtime, out=args.out)
+            run_detect(
+                scale=args.scale,
+                seed=args.seed,
+                runtime=runtime,
+                out=args.out,
+                detector=args.detector,
+            )
         if args.artefact == "detect-stream":
             run_detect_stream(
                 events=args.events,
@@ -311,6 +358,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 seed=args.seed,
                 runtime=runtime,
                 out=args.out,
+                detector=args.detector,
+            )
+        if args.artefact == "evaluate":
+            run_evaluate(
+                scale=args.scale,
+                trials=args.trials,
+                seed=args.seed,
+                runtime=runtime,
+                detector=args.detector,
             )
 
     if metrics_recorder is not None:

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from statistics import mean
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.baselines import DetectionResult, Detector
+from repro.detectors.base import DetectionResult, Detector
 from repro.experiments.config import WorkloadConfig
 from repro.experiments.workload import Workload, build_workload
 from repro.metrics.identity import IdentityMetrics, identity_metrics
@@ -52,11 +52,21 @@ def evaluate_detector(
     detector: Detector,
     workload: Workload,
     recorder: Optional[Recorder] = None,
+    *,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> DetectorEvaluation:
-    """Run ``detector`` on a workload and score it against ground truth."""
+    """Run ``detector`` on a workload and score it against ground truth.
+
+    ``runtime=`` is forwarded to the detector, which either honours it
+    (RID) or rejects it with :class:`~repro.errors.ConfigError` — it is
+    never silently dropped.
+    """
     rec = resolve_recorder(recorder)
     start = time.perf_counter()
-    result: DetectionResult = detector.detect(workload.infected, recorder=rec)
+    if runtime is None:
+        result: DetectionResult = detector.detect(workload.infected, recorder=rec)
+    else:
+        result = detector.detect(workload.infected, recorder=rec, runtime=runtime)
     elapsed = time.perf_counter() - start
     if rec.enabled:
         rec.timing(f"eval.{detector.name}", elapsed)

@@ -21,7 +21,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.core.baselines import Detector
+from repro.detectors.base import Detector
 from repro.core.rid import RID, RIDConfig
 from repro.experiments.config import WorkloadConfig
 from repro.experiments.reporting import format_table

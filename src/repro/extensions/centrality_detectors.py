@@ -1,100 +1,32 @@
-"""Centrality-based source detectors (unsigned classics, per component).
+"""Deprecated location — the centrality detectors moved to
+:mod:`repro.detectors.centrality`.
 
-Each detector scores every node of each infected connected component and
-nominates the per-component argmax as an initiator — the classic
-single-source assumption applied component-wise, giving them at least a
-fighting chance on multi-initiator snapshots.
+Re-exports kept for compatibility (``from
+repro.extensions.centrality_detectors import JordanCenterDetector``
+keeps working); new code should import from :mod:`repro.detectors`.
+Behavioural note: since the move the detectors follow the zoo-wide
+contract — empty infected networks raise
+:class:`~repro.errors.EmptyInfectionError` from ``detect`` (previously
+an empty result was returned silently) and ``detect_with_budget``
+honours exact budgets.
 """
 
-from __future__ import annotations
+from repro.detectors.centrality import (  # noqa: F401
+    CentralityConfig,
+    CentralityDetector,
+    DistanceCenterDetector,
+    JordanCenterDetector,
+    RumorCentralityDetector,
+    select_with_budget,
+    undirected_distances,
+)
 
-import abc
-from collections import deque
-from typing import Dict, Optional
-
-from repro.core.baselines import DetectionResult, Detector
-from repro.core.components import infected_components
-from repro.extensions.rumor_centrality import bfs_tree, rumor_centralities
-from repro.graphs.signed_digraph import SignedDiGraph
-from repro.obs.recorder import Recorder, resolve_recorder
-from repro.types import Node
-
-
-def undirected_distances(graph: SignedDiGraph, source: Node) -> Dict[Node, int]:
-    """BFS hop distances from ``source`` over the undirected view."""
-    distances = {source: 0}
-    queue = deque([source])
-    while queue:
-        node = queue.popleft()
-        for neighbor in graph.neighbors(node):
-            if neighbor not in distances:
-                distances[neighbor] = distances[node] + 1
-                queue.append(neighbor)
-    return distances
-
-
-class CentralityDetector(Detector):
-    """Shared per-component argmax scaffolding."""
-
-    name = "centrality"
-
-    @abc.abstractmethod
-    def score_component(self, component: SignedDiGraph) -> Dict[Node, float]:
-        """Score every node of one component; higher = more source-like."""
-
-    def detect(
-        self, infected: SignedDiGraph, recorder: Optional[Recorder] = None
-    ) -> DetectionResult:
-        rec = resolve_recorder(recorder)
-        initiators = set()
-        with rec.span("detect", method=self.name):
-            for component in infected_components(infected):
-                with rec.span("centrality.score_component", method=self.name):
-                    scores = self.score_component(component)
-                if scores:
-                    best = max(sorted(scores, key=repr), key=lambda n: scores[n])
-                    initiators.add(best)
-        return DetectionResult(method=self.name, initiators=initiators)
-
-
-class RumorCentralityDetector(CentralityDetector):
-    """Shah-Zaman rumor center of each component (BFS-tree heuristic)."""
-
-    name = "rumor-centrality"
-
-    def score_component(self, component: SignedDiGraph) -> Dict[Node, float]:
-        nodes = sorted(component.nodes(), key=repr)
-        if len(nodes) == 1:
-            return {nodes[0]: 0.0}
-        scores: Dict[Node, float] = {}
-        for node in nodes:
-            tree = bfs_tree(component, node)
-            scores[node] = rumor_centralities(tree)[node]
-        return scores
-
-
-class JordanCenterDetector(CentralityDetector):
-    """Node minimising the maximum hop distance to infected nodes."""
-
-    name = "jordan-center"
-
-    def score_component(self, component: SignedDiGraph) -> Dict[Node, float]:
-        scores: Dict[Node, float] = {}
-        for node in component.nodes():
-            distances = undirected_distances(component, node)
-            eccentricity = max(distances.values()) if distances else 0
-            scores[node] = -float(eccentricity)
-        return scores
-
-
-class DistanceCenterDetector(CentralityDetector):
-    """Node minimising the summed hop distance to infected nodes."""
-
-    name = "distance-center"
-
-    def score_component(self, component: SignedDiGraph) -> Dict[Node, float]:
-        scores: Dict[Node, float] = {}
-        for node in component.nodes():
-            distances = undirected_distances(component, node)
-            scores[node] = -float(sum(distances.values()))
-        return scores
+__all__ = [
+    "CentralityConfig",
+    "CentralityDetector",
+    "DistanceCenterDetector",
+    "JordanCenterDetector",
+    "RumorCentralityDetector",
+    "select_with_budget",
+    "undirected_distances",
+]

@@ -21,7 +21,7 @@ from __future__ import annotations
 import warnings
 from typing import Dict, FrozenSet, Optional, Set
 
-from repro.core.baselines import DetectionResult, Detector
+from repro.detectors.base import DetectionResult, Detector
 from repro.graphs.signed_digraph import SignedDiGraph
 from repro.obs.recorder import Recorder, resolve_recorder
 from repro.types import Node, NodeState

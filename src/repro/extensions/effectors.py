@@ -21,7 +21,7 @@ from __future__ import annotations
 import warnings
 from typing import Dict, List, Optional, Set
 
-from repro.core.baselines import DetectionResult, Detector
+from repro.detectors.base import DetectionResult, Detector
 from repro.core.components import infected_components
 from repro.diffusion.ic import ICModel
 from repro.errors import InvalidModelParameterError

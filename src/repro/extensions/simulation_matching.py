@@ -16,7 +16,7 @@ from __future__ import annotations
 import warnings
 from typing import Dict, List, Optional, Set
 
-from repro.core.baselines import DetectionResult, Detector
+from repro.detectors.base import DetectionResult, Detector
 from repro.core.components import infected_components
 from repro.diffusion.mfc import MFCModel
 from repro.errors import InvalidModelParameterError

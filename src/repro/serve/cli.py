@@ -45,6 +45,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="decoded graphs / warm detectors kept per worker",
     )
     parser.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="idle seconds before per-worker cached graphs / warm "
+        "detectors expire (default: never)",
+    )
+    parser.add_argument(
         "--timeout", type=float, default=30.0,
         help="seconds before an accepted request answers 504",
     )
@@ -83,6 +88,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         queue_size=args.queue_size,
         batch_max=args.batch_max,
         engine_cache=args.engine_cache,
+        cache_ttl_s=args.cache_ttl,
         timeout=args.timeout,
     )
     server = DetectionServer(config)

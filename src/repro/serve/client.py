@@ -18,10 +18,9 @@ import json
 from typing import Any, Dict, List, Optional, Tuple, Union
 from urllib.parse import urlsplit
 
-from repro.core.baselines import DetectionResult
-from repro.core.rid import RIDConfig
+from repro.detectors.base import DetectionResult
 from repro.diffusion.base import DiffusionResult
-from repro.errors import ServeClientError
+from repro.errors import ConfigError, ServeClientError
 from repro.graphs.signed_digraph import SignedDiGraph
 from repro.serve import wire
 from repro.types import Node, NodeState
@@ -31,6 +30,21 @@ def _encode_seeds(seeds: Dict[Node, NodeState]) -> List[list]:
     from repro.runtime.cache import _encode_node
 
     return [[_encode_node(node), int(NodeState(state))] for node, state in seeds.items()]
+
+
+def _encode_config(config: Any) -> Optional[Dict[str, Any]]:
+    """Encode a detector config for the wire: a config dataclass (any
+    registry entry's), a plain dict of fields, or None."""
+    import dataclasses
+
+    if config is None or isinstance(config, dict):
+        return config
+    if dataclasses.is_dataclass(config):
+        return dataclasses.asdict(config)
+    raise ConfigError(
+        f"config must be a config dataclass, a dict of its fields, or "
+        f"None, got {type(config).__name__}"
+    )
 
 
 class StreamSession:
@@ -144,10 +158,19 @@ class ServeClient:
         graph: SignedDiGraph,
         *,
         budget: Optional[int] = None,
-        config: Optional[RIDConfig] = None,
+        config: Any = None,
+        detector: Optional[str] = None,
+        tier: Optional[str] = None,
         raw: bool = False,
     ) -> Union[DetectionResult, Dict[str, Any]]:
         """Remote :func:`repro.detect` on an infected snapshot.
+
+        ``detector=`` names a registry entry (``'rid'``,
+        ``'jordan_center'``, ...; the server default is RID); ``tier=``
+        lets the server's two-tier policy pick one (``'fast'`` /
+        ``'accurate'``) — the two are mutually exclusive. ``config=``
+        carries the named entry's hyper-parameters (its config dataclass
+        or a dict of fields).
 
         ``raw=True`` returns the full wire payload (the identity-gate
         form: ``payload["result"]`` is byte-comparable against a local
@@ -160,7 +183,11 @@ class ServeClient:
         if budget is not None:
             body["budget"] = budget
         if config is not None:
-            body["config"] = wire.config_to_json(config)
+            body["config"] = _encode_config(config)
+        if detector is not None:
+            body["detector"] = detector
+        if tier is not None:
+            body["tier"] = tier
         payload = self._request("POST", "/v1/detect", body)
         if raw:
             return payload
@@ -203,9 +230,11 @@ class ServeClient:
         workload: Union[Dict[str, Any], Any],
         *,
         trials: int = 3,
-        config: Optional[RIDConfig] = None,
+        config: Any = None,
+        detector: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """Remote :func:`repro.evaluate` of RID on a workload config.
+        """Remote :func:`repro.evaluate` of a named detector (default RID)
+        on a workload config.
 
         ``workload`` is a :class:`~repro.experiments.config.WorkloadConfig`
         or its dict form; returns the aggregated-score payload."""
@@ -214,7 +243,9 @@ class ServeClient:
         spec = _dc.asdict(workload) if _dc.is_dataclass(workload) else dict(workload)
         body: Dict[str, Any] = {"workload": spec, "trials": trials}
         if config is not None:
-            body["config"] = wire.config_to_json(config)
+            body["config"] = _encode_config(config)
+        if detector is not None:
+            body["detector"] = detector
         return self._request("POST", "/v1/evaluate", body)
 
     def open_session(
@@ -222,14 +253,20 @@ class ServeClient:
         name: str,
         graph: SignedDiGraph,
         *,
-        config: Optional[RIDConfig] = None,
+        config: Any = None,
+        detector: Optional[str] = None,
     ) -> StreamSession:
-        """Open a named streaming session seeded with ``graph``."""
+        """Open a named streaming session seeded with ``graph``.
+
+        ``detector=`` names the registry entry that re-detects after
+        each delta (server default: the incremental RID path)."""
         from repro.pipeline.cache import encode_graph
 
         body: Dict[str, Any] = {"session": name, "graph": encode_graph(graph)}
         if config is not None:
-            body["config"] = wire.config_to_json(config)
+            body["config"] = _encode_config(config)
+        if detector is not None:
+            body["detector"] = detector
         info = self._request("POST", "/v1/sessions", body)
         return StreamSession(self, name, info)
 

@@ -71,50 +71,92 @@ class ServeRequest:
 
 
 class WorkerHost:
-    """Per-worker warm state; touched only by its owning thread."""
+    """Per-worker warm state; touched only by its owning thread.
 
-    def __init__(self, index: int, engine_cache: int) -> None:
+    Both LRUs (decoded graphs, warm detectors) support an optional idle
+    TTL: an entry untouched for ``cache_ttl_s`` seconds is evicted
+    lazily on its next lookup (counted as ``serve.cache_expired``) and
+    rebuilt cold, so a long-idle worker sheds stale graphs and artifact
+    caches without a sweeper thread. Every hit refreshes the entry's
+    clock. ``clock`` is injectable for tests (defaults to
+    ``time.monotonic``).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        engine_cache: int,
+        *,
+        cache_ttl_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.index = index
         self.recorder = MetricsRecorder()
         self.sessions: Dict[str, Any] = {}
-        self._graphs: "OrderedDict[str, SignedDiGraph]" = OrderedDict()
-        self._detectors: "OrderedDict[str, RID]" = OrderedDict()
+        self._graphs: "OrderedDict[str, Tuple[SignedDiGraph, float]]" = OrderedDict()
+        self._detectors: "OrderedDict[str, Tuple[Any, float]]" = OrderedDict()
         self._cap = max(1, engine_cache)
+        self._ttl = cache_ttl_s
+        self._clock = clock
+
+    def _fresh(self, cache: "OrderedDict[str, Tuple[Any, float]]", key: str) -> Any:
+        """The live entry for ``key``, or None after lazy TTL expiry."""
+        entry = cache.get(key)
+        if entry is None:
+            return None
+        value, touched = entry
+        if self._ttl is not None and self._clock() - touched > self._ttl:
+            del cache[key]
+            self.recorder.incr("serve.cache_expired")
+            return None
+        cache[key] = (value, self._clock())
+        cache.move_to_end(key)
+        return value
 
     def graph(self, key: str, payload: Dict[str, Any]) -> Tuple[SignedDiGraph, bool]:
         """The decoded graph for a wire payload; LRU-cached by digest."""
-        cached = self._graphs.get(key)
+        cached = self._fresh(self._graphs, key)
         if cached is not None:
-            self._graphs.move_to_end(key)
             self.recorder.incr("serve.graph_cache.hits")
             return cached, True
         graph = wire.graph_from_json(payload)
-        self._graphs[key] = graph
+        self._graphs[key] = (graph, self._clock())
         while len(self._graphs) > self._cap:
             self._graphs.popitem(last=False)
         self.recorder.incr("serve.graph_cache.misses")
         return graph, False
 
-    def detector(self, config_payload: Any) -> Tuple[RID, bool]:
-        """A warm RID for these hyper-parameters.
+    def detector(self, name: str, config_payload: Any) -> Tuple[Any, bool]:
+        """A warm detector for ``(name, hyper-parameters)``.
 
-        Keyed by config digest only: the detector's
-        :class:`~repro.pipeline.cache.ArtifactCache` is content-addressed
-        by graph *and* config, so one detector per config safely serves
-        every graph while keeping stage artifacts hot across requests.
+        Keyed by the registry's content-addressed
+        :func:`~repro.detectors.detector_digest`, so two requests naming
+        the same detector with the same config share a warm instance and
+        different configs (or detectors) never collide. RID instances
+        keep a roomy :class:`~repro.pipeline.cache.ArtifactCache` hot
+        across requests (it is content-addressed by graph *and* config,
+        so one RID per config safely serves every graph); the in-process
+        detectors have no artifact store — warmth for them means skipping
+        config re-validation and construction.
         """
-        config = wire.config_from_json(config_payload)
-        key = wire.payload_digest(wire.config_to_json(config))
-        cached = self._detectors.get(key)
+        from repro.detectors.registry import detector_digest, resolve_detector
+
+        config = wire.detector_config_from_json(name, config_payload)
+        key = detector_digest(name, config)
+        cached = self._fresh(self._detectors, key)
         if cached is not None:
-            self._detectors.move_to_end(key)
             self.recorder.incr("serve.engine_cache.hits")
             return cached, True
-        from repro.pipeline.cache import ArtifactCache
-        from repro.pipeline.engine import DetectionEngine
+        if name == "rid":
+            from repro.pipeline.cache import ArtifactCache
+            from repro.pipeline.engine import DetectionEngine
 
-        detector = RID(config, engine=DetectionEngine(cache=ArtifactCache(max_entries=4096)))
-        self._detectors[key] = detector
+            detector = RID(
+                config, engine=DetectionEngine(cache=ArtifactCache(max_entries=4096))
+            )
+        else:
+            detector = resolve_detector(name, config)
+        self._detectors[key] = (detector, self._clock())
         while len(self._detectors) > self._cap:
             self._detectors.popitem(last=False)
         self.recorder.incr("serve.engine_cache.misses")
@@ -122,10 +164,14 @@ class WorkerHost:
 
     def cache_temperature(self) -> float:
         """Fraction of artifact-cache lookups that hit, across all warm
-        detectors (0.0 when nothing has run yet)."""
+        detectors (0.0 when nothing has run yet). Only RID carries an
+        artifact cache; the in-process detectors contribute nothing."""
         hits = misses = 0
-        for detector in self._detectors.values():
-            cache = detector.engine.cache
+        for detector, _touched in self._detectors.values():
+            engine = getattr(detector, "engine", None)
+            cache = getattr(engine, "cache", None)
+            if cache is None:
+                continue
             hits += cache.hits
             misses += cache.misses
         total = hits + misses
@@ -152,21 +198,25 @@ def _decode_seeds(raw: Any) -> Dict[Any, NodeState]:
 
 
 def _handle_detect(host: WorkerHost, payload: Dict[str, Any]) -> Dict[str, Any]:
+    name = wire.detector_request(payload)
     graph_payload = wire.require(payload, "graph", dict)
     graph, graph_hot = host.graph(wire.payload_digest(graph_payload), graph_payload)
-    detector, engine_hot = host.detector(payload.get("config"))
+    detector, engine_hot = host.detector(name, payload.get("config"))
     budget = wire.optional_int(payload, "budget")
-    cache = detector.engine.cache
-    hits_before, misses_before = cache.hits, cache.misses
+    cache = getattr(getattr(detector, "engine", None), "cache", None)
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
     if budget is not None:
         result = detector.detect_with_budget(graph, budget)
     else:
         result = detector.detect(graph)
-    reused = cache.hits - hits_before
-    computed = cache.misses - misses_before
+    reused = (cache.hits - hits_before) if cache is not None else 0
+    computed = (cache.misses - misses_before) if cache is not None else 0
+    host.recorder.incr(f"detector.{name}.requests")
     host.recorder.gauge("serve.cache_temperature", host.cache_temperature())
     return {
         "result": result.to_json(),
+        "detector": name,
         "cache": {
             "graph": "hot" if graph_hot else "cold",
             "engine": "hot" if engine_hot else "cold",
@@ -228,10 +278,13 @@ def _handle_evaluate(host: WorkerHost, payload: Dict[str, Any]) -> Dict[str, Any
         )
     workload = WorkloadConfig(**spec)
     trials = wire.optional_int(payload, "trials") or 3
-    config = wire.config_from_json(payload.get("config"))
-    aggregated = api.evaluate(lambda: RID(config), workload, trials=trials)
+    name = wire.detector_request(payload)
+    config = wire.detector_config_from_json(name, payload.get("config"))
+    aggregated = api.evaluate(name, workload, trials=trials, config=config)
+    host.recorder.incr(f"detector.{name}.requests")
     return {
         "evaluation": dataclasses.asdict(aggregated),
+        "detector": name,
         "worker": host.index,
     }
 
@@ -251,13 +304,22 @@ def _handle_session_create(host: WorkerHost, payload: Dict[str, Any]) -> Dict[st
     if name in host.sessions:
         raise SessionExistsError(name)
     graph = wire.graph_from_json(wire.require(payload, "graph", dict))
-    config = wire.config_from_json(payload.get("config"))
+    detector_name = wire.detector_request(payload)
+    config = wire.detector_config_from_json(detector_name, payload.get("config"))
     # copy=False: the decoded graph is already a private object.
-    engine = StreamingDetectionEngine(graph, config=config, copy=False)
+    if detector_name == "rid":
+        engine = StreamingDetectionEngine(graph, config=config, copy=False)
+    else:
+        from repro.detectors.registry import resolve_detector
+
+        engine = StreamingDetectionEngine(
+            graph, detector=resolve_detector(detector_name, config), copy=False
+        )
     host.sessions[name] = engine
     host.recorder.incr("serve.sessions.created")
     return {
         "session": name,
+        "detector": detector_name,
         "components": engine.component_count(),
         "nodes": engine.graph.number_of_nodes(),
         "worker": host.index,
@@ -331,6 +393,8 @@ class WorkerPool:
         batch_max: int = 8,
         engine_cache: int = 8,
         retry_after: float = 1.0,
+        cache_ttl_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -340,7 +404,10 @@ class WorkerPool:
         #: Submit-side metrics (shed/enqueue counts, queue depth); only
         #: the submitting thread (the event loop) writes here.
         self.control = MetricsRecorder()
-        self._hosts = [WorkerHost(i, engine_cache) for i in range(workers)]
+        self._hosts = [
+            WorkerHost(i, engine_cache, cache_ttl_s=cache_ttl_s, clock=clock)
+            for i in range(workers)
+        ]
         self._queues: List["queue.Queue"] = [
             queue.Queue(maxsize=queue_size) for _ in range(workers)
         ]

@@ -57,6 +57,10 @@ class ServeConfig:
         batch_max: max requests one worker drains per wakeup
             (micro-batch / coalescing window).
         engine_cache: decoded graphs and warm detectors kept per worker.
+        cache_ttl_s: idle seconds before a per-worker cached graph or
+            warm detector expires (lazily, on its next lookup — counted
+            as ``serve.cache_expired``). ``None`` (default) never
+            expires; LRU capacity still applies.
         timeout: seconds before an accepted request answers 504.
         retry_after: the ``Retry-After`` hint on shed responses.
         max_body: request-body byte cap (413 beyond it).
@@ -69,6 +73,7 @@ class ServeConfig:
     queue_size: int = 64
     batch_max: int = 8
     engine_cache: int = 8
+    cache_ttl_s: Optional[float] = None
     timeout: float = 30.0
     retry_after: float = 1.0
     max_body: int = 32 * 1024 * 1024
@@ -82,6 +87,10 @@ class ServeConfig:
             raise ConfigError(f"queue_size must be >= 1, got {self.queue_size}")
         if self.batch_max < 1:
             raise ConfigError(f"batch_max must be >= 1, got {self.batch_max}")
+        if self.cache_ttl_s is not None and self.cache_ttl_s <= 0:
+            raise ConfigError(
+                f"cache_ttl_s must be > 0 or None, got {self.cache_ttl_s}"
+            )
         if self.timeout <= 0:
             raise ConfigError(f"timeout must be > 0, got {self.timeout}")
         if self.max_body < 1024:
@@ -120,6 +129,7 @@ class DetectionServer:
             batch_max=cfg.batch_max,
             engine_cache=cfg.engine_cache,
             retry_after=cfg.retry_after,
+            cache_ttl_s=cfg.cache_ttl_s,
         )
         self._server = await asyncio.start_server(
             self._handle_connection, host=cfg.host, port=cfg.port

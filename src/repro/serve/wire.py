@@ -165,6 +165,63 @@ def config_to_json(config: Optional[RIDConfig]) -> Optional[Dict[str, Any]]:
     return dataclasses.asdict(config)
 
 
+def detector_request(payload: Dict[str, Any]) -> str:
+    """Resolve a request's ``detector`` / ``tier`` fields to a registry name.
+
+    The ``repro.serve/v1`` schema addresses detectors two ways:
+
+    * ``detector``: an explicit registry name (``'rid'``,
+      ``'jordan_center'``, ...);
+    * ``tier``: the documented two-tier routing policy —
+      ``'fast'`` maps to a sub-second heuristic, ``'accurate'`` to the
+      full RID pipeline (:data:`repro.detectors.TIER_ROUTING`).
+
+    Omitting both keeps the historical default, ``'rid'``. Supplying
+    both is ambiguous and raises :class:`ConfigError`.
+    """
+    from repro.detectors.registry import TIER_ROUTING, canonical_detector_name
+
+    detector = payload.get("detector")
+    tier = payload.get("tier")
+    if detector is not None and tier is not None:
+        raise ConfigError(
+            "request fields 'detector' and 'tier' are mutually exclusive: "
+            "name a detector or let the tier policy route it, not both"
+        )
+    if tier is not None:
+        if not isinstance(tier, str) or tier not in TIER_ROUTING:
+            raise ConfigError(
+                f"unknown tier {tier!r}; expected one of {sorted(TIER_ROUTING)}"
+            )
+        return TIER_ROUTING[tier]
+    if detector is None:
+        return "rid"
+    if not isinstance(detector, str):
+        raise WireFormatError(
+            f"request field 'detector' must be a string, "
+            f"got {type(detector).__name__}"
+        )
+    return canonical_detector_name(detector)
+
+
+def detector_config_from_json(name: str, payload: Any) -> Any:
+    """Build the validated config instance for a named detector.
+
+    ``None`` means the entry's defaults; a dict is field-checked against
+    the entry's config dataclass (unknown keys raise
+    :class:`ConfigError`). The generalised form of
+    :func:`config_from_json`, delegating to the detector registry.
+    """
+    from repro.detectors.registry import coerce_detector_config
+
+    if payload is not None and not isinstance(payload, dict):
+        raise WireFormatError(
+            f"config payload must be a JSON object or null, "
+            f"got {type(payload).__name__}"
+        )
+    return coerce_detector_config(name, payload)
+
+
 def config_from_json(payload: Any) -> RIDConfig:
     """Build a validated :class:`RIDConfig` from a wire payload.
 

@@ -52,8 +52,10 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Union, overload
 
-from repro.core.baselines import DetectionResult
+from repro.detectors.base import DetectionResult, Detector
+from repro.detectors.registry import canonical_detector_name, resolve_detector
 from repro.core.rid import RIDConfig
+from repro.errors import ConfigError
 from repro.graphs.signed_digraph import EdgeData, SignedDiGraph
 from repro.obs.recorder import Recorder, resolve_recorder, using_recorder
 from repro.pipeline.cache import ArtifactCache
@@ -145,7 +147,16 @@ class StreamingDetectionEngine:
         graph: the initial live network (any nodes/states; only active
             nodes participate in detection). Copied by default so event
             replay never mutates the caller's object.
-        config: RID hyper-parameters (validated eagerly).
+        config: RID hyper-parameters (validated eagerly). Only valid on
+            the RID path — pre-configure named detectors via
+            :func:`repro.detectors.resolve_detector` instead.
+        detector: run a named detector instead of RID — a registry name
+            (``'jordan_center'``, ...) or a pre-built
+            :class:`~repro.detectors.Detector`. ``None`` (or ``'rid'``)
+            keeps the incremental RID path. Named detectors re-detect on
+            the materialised snapshot each step (no per-component
+            artifact reuse — they have no content-addressed stages) but
+            share the same delta plumbing and replay reporting.
         engine: the staged pipeline to detect with; a private
             :class:`DetectionEngine` with a roomy artifact cache by
             default. Pass a shared engine to pool artifacts.
@@ -164,11 +175,23 @@ class StreamingDetectionEngine:
         graph: Optional[SignedDiGraph] = None,
         *,
         config: Optional[RIDConfig] = None,
+        detector: Union[str, Detector, None] = None,
         engine: Optional[DetectionEngine] = None,
         cache: Optional[ArtifactCache] = None,
         runtime: Optional[RuntimeConfig] = None,
         copy: bool = True,
     ) -> None:
+        self.detector: Optional[Detector] = None
+        if isinstance(detector, str) and canonical_detector_name(detector) == "rid":
+            detector = None  # the incremental path *is* the rid detector
+        if detector is not None:
+            if config is not None:
+                raise ConfigError(
+                    "config= carries RID hyper-parameters; pre-configure a "
+                    "named detector via repro.detectors.resolve_detector "
+                    "and pass the instance"
+                )
+            self.detector = resolve_detector(detector)
         self.config = config if config is not None else RIDConfig()
         self.config.validate()
         if engine is None:
@@ -183,7 +206,9 @@ class StreamingDetectionEngine:
             self.graph = SignedDiGraph(name="stream")
         else:
             self.graph = graph.copy() if copy else graph
-        self._prune = bool(self.config.prune_inconsistent)
+        # Named detectors consume the unpruned materialised snapshot, so
+        # the live-edge predicate must not drop sign-inconsistent links.
+        self._prune = self.detector is None and bool(self.config.prune_inconsistent)
         self._comp_nodes: Dict[int, Set[Node]] = {}
         self._comp_sub: Dict[int, SignedDiGraph] = {}
         self._comp_key: Dict[int, str] = {}
@@ -386,6 +411,10 @@ class StreamingDetectionEngine:
         outputs come back verbatim.
         """
         rec = resolve_recorder(recorder)
+        if self.detector is not None:
+            return self._detect_named(
+                budget=budget, recorder=rec, runtime=runtime
+            )
         cache = self.engine.cache
         hits_before, misses_before = cache.hits, cache.misses
         with using_recorder(rec):
@@ -407,6 +436,48 @@ class StreamingDetectionEngine:
         self.last_computed_artifacts = computed
         self.last_outcome = outcome
         return outcome.result
+
+    def _detect_named(
+        self,
+        *,
+        budget: Optional[int],
+        recorder: Recorder,
+        runtime: Optional[RuntimeConfig],
+    ) -> DetectionResult:
+        """Per-step detection with a named (non-RID) detector.
+
+        Re-detects on the materialised snapshot — named detectors have
+        no content-addressed stages to reuse, so the artifact counters
+        stay zero. A drained (empty) stream mirrors the RID path: an
+        open-ended detect yields a well-formed empty result, a budgeted
+        one goes through the detector's budget-0 contract.
+        """
+        detector = self.detector
+        assert detector is not None
+        runtime = runtime if runtime is not None else self.runtime
+        with using_recorder(recorder):
+            with recorder.span(
+                "stream.detect",
+                components=len(self._comp_nodes),
+                detector=detector.name,
+            ):
+                snapshot = self.materialise()
+                if budget is not None:
+                    result = detector.detect_with_budget(
+                        snapshot, budget, recorder=recorder, runtime=runtime
+                    )
+                elif snapshot.number_of_nodes() == 0:
+                    result = DetectionResult(
+                        method=detector.name, initiators=set()
+                    )
+                else:
+                    result = detector.detect(
+                        snapshot, recorder=recorder, runtime=runtime
+                    )
+        self.last_reused_artifacts = 0
+        self.last_computed_artifacts = 0
+        self.last_outcome = None
+        return result
 
     def step(
         self,

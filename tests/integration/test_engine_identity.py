@@ -88,6 +88,40 @@ class TestDetectIdentity:
         assert_results_identical(actual, expected)
 
 
+class TestRegistryIdentity:
+    """Registry-resolved ``'rid'`` must stay bit-identical to building
+    ``RID(config)`` directly — the detector seam adds no behaviour."""
+
+    @pytest.mark.parametrize("beta", [0.1, 0.8])
+    def test_resolved_rid_matches_direct(self, golden_infected, beta):
+        from repro.detectors import resolve_detector
+
+        config = RIDConfig(beta=beta)
+        direct = RID(config).detect(golden_infected)
+        resolved = resolve_detector("rid", config).detect(golden_infected)
+        assert_results_identical(resolved, direct)
+        assert resolved.to_json() == direct.to_json()
+
+    def test_resolved_rid_budget_matches_direct(self, golden_infected):
+        from repro.detectors import resolve_detector
+
+        config = RIDConfig()
+        base = RID(config).detect(golden_infected)
+        budget = len(base.trees) + 2
+        direct = RID(config).detect_with_budget(golden_infected, budget=budget)
+        resolved = resolve_detector("rid", config).detect_with_budget(
+            golden_infected, budget=budget
+        )
+        assert_results_identical(resolved, direct)
+
+    def test_facade_name_matches_direct(self, golden_infected):
+        import repro
+
+        direct = RID(RIDConfig()).detect(golden_infected)
+        named = repro.detect(golden_infected, detector="rid")
+        assert named.to_json() == direct.to_json()
+
+
 class TestBudgetIdentity:
     def test_engine_matches_reference_across_budgets(self, golden_infected):
         config = RIDConfig()

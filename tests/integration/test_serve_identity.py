@@ -218,3 +218,86 @@ class TestGracefulShutdown:
             snapshot = handle.metrics()
             assert snapshot.counters["serve.requests"] == 1.0
         # double-stop is a no-op (the context exit above)
+
+
+class TestNamedDetectorIdentity:
+    """Served named-detector responses must be bit-identical to direct
+    in-process calls — at workers=1 and workers=2 (fixture params)."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["rumor_centrality", "jordan_center", "distance_center", "multi_source"],
+    )
+    def test_served_named_detect_is_bit_identical(self, served, infected, name):
+        from repro.detectors import resolve_detector
+
+        client, _ = served
+        direct = resolve_detector(name).detect(infected)
+        payload = client.detect(infected, detector=name, raw=True)
+        assert payload["detector"] == name
+        assert canonical(payload["result"]) == canonical(direct.to_json())
+
+    def test_config_travels_with_named_detector(self, served, infected):
+        from repro.detectors import resolve_detector
+
+        client, _ = served
+        config = {"trials": 2, "candidate_limit": 4}
+        direct = resolve_detector("map_suspect", dict(config)).detect(infected)
+        payload = client.detect(
+            infected, detector="map_suspect", config=config, raw=True
+        )
+        assert canonical(payload["result"]) == canonical(direct.to_json())
+
+    def test_tier_routing_follows_the_policy(self, served, infected):
+        from repro.detectors import resolve_detector
+        from repro.detectors.registry import TIER_ROUTING
+
+        client, _ = served
+        fast = client.detect(infected, tier="fast", raw=True)
+        assert fast["detector"] == TIER_ROUTING["fast"]
+        direct_fast = resolve_detector(TIER_ROUTING["fast"]).detect(infected)
+        assert canonical(fast["result"]) == canonical(direct_fast.to_json())
+        accurate = client.detect(infected, tier="accurate", raw=True)
+        assert accurate["detector"] == TIER_ROUTING["accurate"]
+        assert canonical(accurate["result"]) == canonical(
+            repro.detect(infected).to_json()
+        )
+
+    def test_detector_and_tier_conflict_maps_to_400(self, served, infected):
+        client, _ = served
+        with pytest.raises(ConfigError, match="mutually exclusive"):
+            client.detect(infected, detector="rid", tier="fast")
+
+    def test_unknown_detector_maps_to_400(self, served, infected):
+        client, _ = served
+        with pytest.raises(ConfigError, match="unknown detector"):
+            client.detect(infected, detector="louvain")
+
+    def test_named_evaluate_round_trips(self, served):
+        client, _ = served
+        payload = client.evaluate(
+            {"dataset": "epinions", "scale": 0.004, "seed": 3},
+            trials=2,
+            detector="distance_center",
+        )
+        assert payload["detector"] == "distance_center"
+        scores = payload["evaluation"]
+        assert scores["method"] == "distance-center"
+        assert 0.0 <= scores["f1"] <= 1.0
+
+    def test_named_session_matches_local_engine(self, served):
+        from repro.detectors import resolve_detector
+
+        client, _ = served
+        snapshot, deltas = synthetic_stream(components=3, size=8, deltas=4, seed=21)
+        local = StreamingDetectionEngine(snapshot, detector="jordan_center")
+        with client.open_session(
+            "named-identity", snapshot, detector="jordan_center"
+        ) as session:
+            assert session.info["detector"] == "jordan_center"
+            for delta in deltas:
+                remote = session.delta(delta)
+                local_step = local.step(delta)
+                assert canonical(remote["result"]) == canonical(
+                    local_step.result.to_json()
+                )

@@ -83,3 +83,35 @@ def test_budget_mode_spot_check(stream):
     got = engine.detect(budget=budget)
     want = cold.detect_with_budget(materialised, budget)
     assert results_equal(got, want)
+
+
+@pytest.mark.parametrize("name", ["jordan_center", "multi_source"])
+def test_named_detector_stream_matches_cold_detect(stream, name):
+    """The detector pass-through: each step re-runs the named detector
+    on the materialised snapshot — identical to a cold direct call."""
+    from repro.detectors import resolve_detector
+
+    snapshot, deltas = stream
+    engine = StreamingDetectionEngine(snapshot, detector=name)
+    cold = resolve_detector(name)
+    for index, delta in enumerate(deltas[:8]):
+        step = engine.step(delta)
+        materialised = engine.materialise()
+        if materialised.number_of_nodes() == 0:
+            assert step.result.initiators == set()
+            continue
+        want = cold.detect(materialised)
+        assert step.result.initiators == want.initiators, f"delta {index}"
+        assert step.result.method == want.method
+
+
+def test_named_rid_string_uses_the_incremental_path(stream):
+    snapshot, deltas = stream
+    named = StreamingDetectionEngine(snapshot, detector="rid")
+    reference = StreamingDetectionEngine(snapshot, config=RIDConfig())
+    for delta in deltas[:6]:
+        got = named.step(delta)
+        want = reference.step(delta)
+        assert results_equal(got.result, want.result)
+    # the string spelling must keep the incremental engine's reuse
+    assert named.detector is None

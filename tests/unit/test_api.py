@@ -149,6 +149,112 @@ class TestDetect:
         assert "rid.tree_dp" in rec.metrics.timers
 
 
+class TestNamedDetectors:
+    def test_registry_rid_is_bit_identical_to_default(self, network, cascade):
+        default = repro.detect(network, cascade)
+        named = repro.detect(network, cascade, detector="rid")
+        assert named.to_json() == default.to_json()
+
+    def test_named_centrality_with_budget(self, network, cascade):
+        result = repro.detect(
+            network, cascade, detector="rumor_centrality", budget=5
+        )
+        assert result.method == "rumor-centrality(k=5)"
+        assert len(result.initiators) == 5
+
+    def test_hyphen_spelling_accepted(self, network, cascade):
+        hyphen = repro.detect(network, cascade, detector="jordan-center")
+        snake = repro.detect(network, cascade, detector="jordan_center")
+        assert hyphen.initiators == snake.initiators
+
+    def test_config_dict_for_named_detector(self, network, cascade):
+        result = repro.detect(
+            network,
+            cascade,
+            detector="map_suspect",
+            config={"trials": 2, "candidate_limit": 4},
+        )
+        assert result.method == "map-suspect"
+
+    def test_unknown_name_lists_registry(self, network, cascade):
+        with pytest.raises(ConfigError, match="unknown detector"):
+            repro.detect(network, cascade, detector="page_rank")
+
+    def test_backend_is_rid_only(self, network, cascade):
+        with pytest.raises(ConfigError, match="backend"):
+            repro.detect(
+                network, cascade, detector="jordan_center", backend="numpy"
+            )
+
+    def test_runtime_rejected_by_in_process_detector(self, network, cascade):
+        from repro.runtime.config import RuntimeConfig
+
+        with pytest.raises(ConfigError, match="cannot honour"):
+            repro.detect(
+                network,
+                cascade,
+                detector="jordan_center",
+                runtime=RuntimeConfig(workers=2),
+            )
+
+    def test_detector_metrics_are_recorded(self, network, cascade):
+        rec = MetricsRecorder()
+        repro.detect(network, cascade, detector="distance_center", recorder=rec)
+        counters = rec.metrics.counters
+        assert counters["detector.requests"] == 1
+        assert counters["detector.distance_center.requests"] == 1
+        assert counters["detector.initiators"] >= 1
+
+
+class TestEvaluateRuntime:
+    """evaluate() must forward runtime= or raise — never drop it."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return build_workload(
+            WorkloadConfig(dataset="epinions", scale=0.004, seed=3), trial=0
+        )
+
+    def test_runtime_forwarded_to_rid(self, workload):
+        from repro.runtime.config import RuntimeConfig
+
+        serial = repro.evaluate(RID(RIDConfig()), workload)
+        parallel = repro.evaluate(
+            RID(RIDConfig()), workload, RuntimeConfig(workers=2)
+        )
+        assert parallel.identity.f1 == serial.identity.f1
+
+    def test_runtime_reaches_in_process_detector(self, workload):
+        from repro.detectors.centrality import JordanCenterDetector
+        from repro.runtime.config import RuntimeConfig
+
+        with pytest.raises(ConfigError, match="cannot honour"):
+            repro.evaluate(
+                JordanCenterDetector(), workload, RuntimeConfig(workers=2)
+            )
+
+    def test_inert_runtime_accepted(self, workload):
+        from repro.detectors.centrality import JordanCenterDetector
+        from repro.runtime.config import RuntimeConfig
+
+        evaluation = repro.evaluate(
+            JordanCenterDetector(), workload, RuntimeConfig()
+        )
+        assert isinstance(evaluation, DetectorEvaluation)
+
+    def test_named_detector_evaluation(self):
+        config = WorkloadConfig(dataset="epinions", scale=0.004, seed=3)
+        aggregated = repro.evaluate("distance_center", config, trials=2)
+        assert isinstance(aggregated, AggregatedEvaluation)
+
+    def test_config_requires_registry_name(self):
+        config = WorkloadConfig(dataset="epinions", scale=0.004, seed=3)
+        with pytest.raises(ConfigError, match="registry names"):
+            repro.evaluate(
+                RID(RIDConfig()), config, config={"trials": 2}, trials=1
+            )
+
+
 class TestEvaluate:
     def test_workload_form(self):
         config = WorkloadConfig(dataset="epinions", scale=0.004, seed=3)
@@ -210,7 +316,7 @@ class TestApiErrorPaths:
             )
 
     def test_config_plus_detector_conflict_message(self, network, cascade):
-        with pytest.raises(ConfigError, match="config= \\(for RID\\) or detector="):
+        with pytest.raises(ConfigError, match="not both"):
             repro.detect(
                 network, cascade, config=RIDConfig(), detector=CertaintyCoverDetector()
             )

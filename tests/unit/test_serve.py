@@ -302,3 +302,166 @@ class TestConfigOnTheWireMatters:
         assert len(penalised["result"]["initiators"]) <= len(
             default["result"]["initiators"]
         )
+
+
+class TestNamedDetectorRouting:
+    def _detect(self, pool, payload):
+        digest = wire.payload_digest(payload)
+        return pool.submit("detect", payload, digest)[1].result(timeout=30.0)
+
+    def test_default_detector_is_rid(self, pool):
+        from repro.pipeline.cache import encode_graph
+
+        payload = {"graph": encode_graph(synthetic_snapshot(2, 8, seed=8))}
+        body = self._detect(pool, payload)
+        assert body["detector"] == "rid"
+        assert body["result"]["method"].startswith("rid")
+
+    def test_named_detector_travels(self, pool):
+        from repro.pipeline.cache import encode_graph
+
+        payload = {
+            "graph": encode_graph(synthetic_snapshot(2, 8, seed=8)),
+            "detector": "jordan-center",
+        }
+        body = self._detect(pool, payload)
+        assert body["detector"] == "jordan_center"
+        assert body["result"]["method"] == "jordan-center"
+        assert pool.metrics().counters["detector.jordan_center.requests"] == 1.0
+
+    def test_tier_routing(self, pool):
+        from repro.detectors.registry import TIER_ROUTING
+        from repro.pipeline.cache import encode_graph
+
+        graph = encode_graph(synthetic_snapshot(2, 8, seed=8))
+        fast = self._detect(pool, {"graph": graph, "tier": "fast"})
+        assert fast["detector"] == TIER_ROUTING["fast"]
+        accurate = self._detect(pool, {"graph": graph, "tier": "accurate"})
+        assert accurate["detector"] == TIER_ROUTING["accurate"]
+
+    def test_detector_and_tier_conflict(self, pool):
+        from repro.pipeline.cache import encode_graph
+
+        payload = {
+            "graph": encode_graph(synthetic_snapshot(2, 6, seed=8)),
+            "detector": "rid",
+            "tier": "fast",
+        }
+        _, fut = pool.submit("detect", payload, wire.payload_digest(payload))
+        with pytest.raises(ConfigError, match="mutually exclusive"):
+            fut.result(timeout=30.0)
+
+    def test_unknown_tier_and_detector(self, pool):
+        from repro.pipeline.cache import encode_graph
+
+        graph = encode_graph(synthetic_snapshot(2, 6, seed=8))
+        _, fut = pool.submit("detect", {"graph": graph, "tier": "turbo"}, "k1")
+        with pytest.raises(ConfigError, match="unknown tier"):
+            fut.result(timeout=30.0)
+        _, fut = pool.submit("detect", {"graph": graph, "detector": "louvain"}, "k2")
+        with pytest.raises(ConfigError, match="unknown detector"):
+            fut.result(timeout=30.0)
+
+    def test_named_config_separates_warm_instances(self, pool):
+        from repro.pipeline.cache import encode_graph
+
+        graph = encode_graph(synthetic_snapshot(2, 8, seed=9))
+        base = {"graph": graph, "detector": "map_suspect", "config": {"trials": 2}}
+        self._detect(pool, base)
+        warm = self._detect(pool, base)
+        assert warm["cache"]["engine"] == "hot"
+        other = dict(base, config={"trials": 3})
+        cold = self._detect(pool, other)
+        assert cold["cache"]["engine"] == "cold"
+
+    def test_session_accepts_named_detector(self, pool):
+        from repro.pipeline.cache import encode_graph
+
+        snapshot = synthetic_snapshot(2, 6, seed=10)
+        key = "session:named"
+        create = {
+            "session": "named",
+            "graph": encode_graph(snapshot),
+            "detector": "distance_center",
+        }
+        info = pool.submit("session.create", create, key)[1].result(timeout=30.0)
+        assert info["detector"] == "distance_center"
+
+
+class TestCacheTTL:
+    """Satellite: idle entries expire lazily, hits refresh the clock."""
+
+    def host(self, ttl):
+        from repro.serve.pool import WorkerHost
+
+        clock = {"now": 100.0}
+        host = WorkerHost(0, 8, cache_ttl_s=ttl, clock=lambda: clock["now"])
+        return host, clock
+
+    def graph_payload(self):
+        from repro.pipeline.cache import encode_graph
+
+        payload = encode_graph(synthetic_snapshot(2, 6, seed=11))
+        return wire.payload_digest({"graph": payload}), payload
+
+    def test_idle_graph_expires(self):
+        host, clock = self.host(ttl=10.0)
+        key, payload = self.graph_payload()
+        _, hot = host.graph(key, payload)
+        assert hot is False
+        clock["now"] += 11.0
+        _, hot = host.graph(key, payload)
+        assert hot is False  # expired, rebuilt cold
+        assert host.recorder.metrics.counters["serve.cache_expired"] == 1.0
+
+    def test_hit_refreshes_the_idle_clock(self):
+        host, clock = self.host(ttl=10.0)
+        key, payload = self.graph_payload()
+        host.graph(key, payload)
+        for _ in range(3):
+            clock["now"] += 6.0  # each hit inside the ttl window
+            _, hot = host.graph(key, payload)
+            assert hot is True
+        assert "serve.cache_expired" not in host.recorder.metrics.counters
+
+    def test_idle_detector_expires_and_rebuilds(self):
+        host, clock = self.host(ttl=5.0)
+        _, hot = host.detector("jordan_center", None)
+        assert hot is False
+        clock["now"] += 2.0
+        _, hot = host.detector("jordan_center", None)
+        assert hot is True
+        clock["now"] += 6.0
+        _, hot = host.detector("jordan_center", None)
+        assert hot is False
+        assert host.recorder.metrics.counters["serve.cache_expired"] == 1.0
+
+    def test_no_ttl_means_no_expiry(self):
+        host, clock = self.host(ttl=None)
+        key, payload = self.graph_payload()
+        host.graph(key, payload)
+        clock["now"] += 1e9
+        _, hot = host.graph(key, payload)
+        assert hot is True
+
+    def test_serve_config_validates_ttl(self):
+        with pytest.raises(ConfigError, match="cache_ttl_s must be > 0"):
+            ServeConfig(cache_ttl_s=0.0).validate()
+        ServeConfig(cache_ttl_s=30.0).validate()
+
+    def test_pool_threads_ttl_to_hosts(self):
+        clock = {"now": 0.0}
+        pool = WorkerPool(1, queue_size=8, cache_ttl_s=5.0, clock=lambda: clock["now"])
+        try:
+            from repro.pipeline.cache import encode_graph
+
+            payload = {"graph": encode_graph(synthetic_snapshot(2, 6, seed=12))}
+            digest = wire.payload_digest(payload)
+            pool.submit("detect", payload, digest)[1].result(timeout=30.0)
+            clock["now"] += 60.0
+            body = pool.submit("detect", payload, digest)[1].result(timeout=30.0)
+            assert body["cache"]["graph"] == "cold"
+            assert body["cache"]["engine"] == "cold"
+            assert pool.metrics().counters["serve.cache_expired"] == 2.0
+        finally:
+            pool.shutdown()
