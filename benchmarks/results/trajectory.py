@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Aggregate every ``BENCH_*.json`` into one speedup-trajectory table.
+
+Each optimisation PR leaves a benchmark report at the repo root
+(``BENCH_kernel.json``, ``BENCH_backends.json``, ``BENCH_mc_batch.json``,
+...) with its own schema; the one convention they share is that speedup
+figures live under keys containing ``speedup``. This tool walks every
+report recursively, collects those numbers with their JSON paths, and
+prints one table — the performance trajectory of the repo across PRs —
+plus the geometric mean of the headline (top-most, shallowest) speedup
+per report.
+
+Run from the repo root:
+
+    python benchmarks/results/trajectory.py
+    python benchmarks/results/trajectory.py --out trajectory.json
+
+Qualitative keys (``speedup_note`` strings and the like) are skipped;
+only numeric values count. Files that fail to parse are reported and
+skipped, never fatal — the table is a dashboard, not a gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import math
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+
+def walk_speedups(value, path: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield ``(json_path, speedup)`` for every numeric speedup-ish key."""
+    if isinstance(value, dict):
+        for key in sorted(value):
+            child = value[key]
+            child_path = f"{path}.{key}" if path else key
+            if "speedup" in key and isinstance(child, (int, float)):
+                yield child_path, float(child)
+            else:
+                yield from walk_speedups(child, child_path)
+    elif isinstance(value, list):
+        for position, child in enumerate(value):
+            yield from walk_speedups(child, f"{path}[{position}]")
+
+
+def headline(rows: List[Tuple[str, float]]) -> Tuple[str, float]:
+    """The shallowest speedup of one report (ties break alphabetically)."""
+    return min(rows, key=lambda row: (row[0].count(".") + row[0].count("["), row[0]))
+
+
+def collect(root: str) -> Tuple[List[dict], List[str]]:
+    reports = []
+    errors = []
+    for file_path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
+        name = os.path.basename(file_path)
+        try:
+            with open(file_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            errors.append(f"{name}: {exc}")
+            continue
+        rows = list(walk_speedups(payload))
+        if not rows:
+            continue  # accuracy/latency reports carry no speedup figures
+        head_path, head_value = headline(rows)
+        reports.append(
+            {
+                "file": name,
+                "headline_path": head_path,
+                "headline_speedup": head_value,
+                "speedups": [
+                    {"path": row_path, "speedup": row_value}
+                    for row_path, row_value in rows
+                ],
+            }
+        )
+    return reports, errors
+
+
+def geometric_mean(values: List[float]) -> float:
+    positive = [value for value in values if value > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in positive) / len(positive))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=".", help="directory holding the BENCH_*.json reports"
+    )
+    parser.add_argument(
+        "--out", default=None, help="also write the aggregate as JSON here"
+    )
+    args = parser.parse_args()
+
+    reports, errors = collect(args.root)
+    for error in errors:
+        print(f"skipped {error}", file=sys.stderr)
+    if not reports:
+        print("no BENCH_*.json reports with speedup figures under", args.root)
+        return 1
+
+    width = max(len(report["file"]) for report in reports)
+    print(f"{'report':<{width}}  {'headline':>9}  path")
+    for report in reports:
+        print(
+            f"{report['file']:<{width}}  "
+            f"{report['headline_speedup']:>8.2f}x  {report['headline_path']}"
+        )
+        for row in report["speedups"]:
+            if row["path"] == report["headline_path"]:
+                continue
+            print(f"{'':<{width}}  {row['speedup']:>8.2f}x    .{row['path']}")
+    overall = geometric_mean(
+        [report["headline_speedup"] for report in reports]
+    )
+    print(
+        f"\nheadline geometric mean over {len(reports)} report(s): "
+        f"{overall:.2f}x"
+    )
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "reports": reports,
+                    "headline_geometric_mean": overall,
+                    "skipped": errors,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,10 +18,11 @@ models get credit for reproducing the observed opinion, not merely the
 infection), and ``ε`` is additive smoothing keeping never-activated
 nodes from collapsing the product to ``-inf``.
 
-Everything is deterministic: candidates are scored under seeds derived
-from ``(config.seed, component index, candidate, trial)`` via
-:func:`repro.utils.rng.derive_seed`, and all argmax ties break
-repr-sorted.
+Everything is deterministic: each candidate's trials run as one
+:func:`~repro.diffusion.monte_carlo.simulate_batch` call whose base seed
+derives from ``(config.seed, component index, candidate)`` via
+:func:`repro.utils.rng.derive_seed` (per-trial seeds then follow the
+``simulate_many`` chain), and all argmax ties break repr-sorted.
 """
 
 from __future__ import annotations
@@ -159,6 +160,10 @@ class MapSuspectDetector(Detector):
         self, component: SignedDiGraph, index: int, rec: Recorder
     ) -> Dict[Node, float]:
         """MAP score of every candidate of one component."""
+        # Imported lazily like the models: detectors load at package
+        # import, the Monte-Carlo facade only once detection runs.
+        from repro.diffusion.monte_carlo import simulate_batch
+
         model = self._model()
         eps = self.config.smoothing
         trials = self.config.trials
@@ -168,22 +173,26 @@ class MapSuspectDetector(Detector):
         log_prior = self._log_prior(component, candidates)
         scores: Dict[Node, float] = {}
         for candidate in candidates:
-            matches = {node: 0 for node in nodes}
-            for trial in range(trials):
-                seed = derive_seed(
-                    self.config.seed, "map_suspect", index, repr(candidate), trial
-                )
-                outcome = model.run(
-                    component, {candidate: observed[candidate]}, rng=seed
-                )
-                for node, state in outcome.final_states.items():
-                    if state.is_active and state == observed.get(node):
-                        matches[node] += 1
+            # One batched call per candidate: kernel-capable models run
+            # all trials in a single backend sweep and the state-match
+            # counting happens over the compact final-state matrix.
+            summary = simulate_batch(
+                model,
+                component,
+                {candidate: observed[candidate]},
+                trials,
+                base_seed=derive_seed(
+                    self.config.seed, "map_suspect", index, repr(candidate)
+                ),
+                recorder=rec,
+                record_states=True,
+            )
+            matches = summary.match_counts(observed)
             if rec.enabled:
                 rec.incr("detector.map_suspect.simulations", trials)
             score = log_prior[candidate]
             for node in nodes:
-                freq = matches[node] / trials
+                freq = matches.get(node, 0) / trials
                 score += math.log(eps + (1.0 - eps) * freq)
             scores[candidate] = score
         return scores

@@ -20,7 +20,11 @@ from repro.diffusion.pic import PICModel
 from repro.diffusion.sir import SIRModel
 from repro.diffusion.voter import SignedVoterModel
 from repro.diffusion.seeds import plant_random_initiators
-from repro.diffusion.monte_carlo import estimate_spread, simulate_many
+from repro.diffusion.monte_carlo import (
+    estimate_spread,
+    simulate_batch,
+    simulate_many,
+)
 
 __all__ = [
     "ActivationEvent",
@@ -34,5 +38,6 @@ __all__ = [
     "PICModel",
     "plant_random_initiators",
     "estimate_spread",
+    "simulate_batch",
     "simulate_many",
 ]

@@ -21,6 +21,8 @@ from typing import Dict, List, Optional
 
 from repro.diffusion.base import DiffusionModel, DiffusionResult
 from repro.graphs.signed_digraph import SignedDiGraph
+from repro.kernel.batch import CascadeBatchSummary, run_ic_batch, run_mfc_batch
+from repro.kernel.cascade import check_seeds_compiled
 from repro.kernel.compile import compile_graph
 from repro.obs.recorder import Recorder, resolve_recorder
 from repro.runtime.cache import (
@@ -153,6 +155,219 @@ def simulate_many(
     ).results
 
 
+def _batchable(model: DiffusionModel) -> bool:
+    """Can ``model`` run through the batched kernel tier?
+
+    Only the two kernel-capable cascade models qualify, and only when
+    their kernel path is enabled; anything else (SIR, ``use_kernel=False``
+    opts-out, third-party models) takes the per-trial fallback.
+    """
+    return getattr(model, "name", None) in ("mfc", "ic") and bool(
+        getattr(model, "use_kernel", False)
+    )
+
+
+def _run_batch_kernel(
+    model: DiffusionModel,
+    compiled,
+    validated: Dict[Node, NodeState],
+    trial_seeds: List[int],
+    record_states: bool,
+    recorder: Optional[Recorder] = None,
+) -> CascadeBatchSummary:
+    """One batched kernel call with ``model``'s parameters and backend."""
+    if model.name == "mfc":
+        return run_mfc_batch(
+            compiled,
+            validated,
+            trial_seeds,
+            alpha=model.alpha,
+            allow_flips=model.allow_flips,
+            max_rounds=model.max_rounds,
+            namespace=model.name,
+            record_states=record_states,
+            recorder=recorder,
+            backend=model.backend,
+        )
+    return run_ic_batch(
+        compiled,
+        validated,
+        trial_seeds,
+        propagate_signs=model.propagate_signs,
+        namespace=model.name,
+        record_states=record_states,
+        recorder=recorder,
+        backend=model.backend,
+    )
+
+
+def _batch_chunk(payload, spec) -> CascadeBatchSummary:
+    """One worker-side slice of trials; module-level so pools can import it.
+
+    The spec is a ``(start, stop)`` trial range and the per-trial seeds
+    are derived *here* — ``derive_seed(base_seed, model.name, trial)``,
+    the exact ``simulate_many`` chain — so chunked parallel execution
+    reproduces the serial seed streams.
+    """
+    model, compiled, validated, base_seed, record_states = payload
+    start, stop = spec
+    trial_seeds = [
+        derive_seed(base_seed, model.name, trial) for trial in range(start, stop)
+    ]
+    return _run_batch_kernel(model, compiled, validated, trial_seeds, record_states)
+
+
+def _summarise_results(
+    results: List[DiffusionResult],
+    diffusion: SignedDiGraph,
+    seeds: Dict[Node, NodeState],
+    record_states: bool,
+) -> CascadeBatchSummary:
+    """Fold per-trial ``DiffusionResult``s into a batch summary.
+
+    The fallback path for models the kernel tier cannot batch: flips come
+    from the legacy event logs and ``attempts`` stays 0 (the reference
+    simulators record successful activations, not raw draws).
+    """
+    nodes = tuple(sorted(diffusion.nodes(), key=repr))
+    index = {node: position for position, node in enumerate(nodes)}
+    infected: List[int] = []
+    positive: List[int] = []
+    negative: List[int] = []
+    flips: List[int] = []
+    rounds: List[int] = []
+    rows: Optional[List[bytearray]] = [] if record_states else None
+    for result in results:
+        positives = negatives = 0
+        row = bytearray(len(nodes)) if rows is not None else None
+        for node, state in result.final_states.items():
+            if state is NodeState.POSITIVE:
+                positives += 1
+                if row is not None:
+                    row[index[node]] = 1
+            elif state is NodeState.NEGATIVE:
+                negatives += 1
+                if row is not None:
+                    row[index[node]] = 2
+        positive.append(positives)
+        negative.append(negatives)
+        infected.append(positives + negatives)
+        flips.append(sum(1 for event in result.events if event.was_flip))
+        rounds.append(result.rounds)
+        if rows is not None:
+            rows.append(row)
+    return CascadeBatchSummary(
+        nodes=nodes,
+        index=index,
+        seeds=dict(seeds),
+        trials=len(results),
+        infected=infected,
+        positive=positive,
+        negative=negative,
+        flips=flips,
+        rounds=rounds,
+        attempts=0,
+        states=rows,
+    )
+
+
+def simulate_batch(
+    model: DiffusionModel,
+    diffusion: SignedDiGraph,
+    seeds: Dict[Node, NodeState],
+    trials: int,
+    base_seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+    recorder: Optional[Recorder] = None,
+    record_states: bool = False,
+) -> CascadeBatchSummary:
+    """Run ``trials`` cascades in one batched kernel call per chunk.
+
+    The counting twin of :func:`simulate_many`: same derived per-trial
+    seeds, but results come back as compact per-trial summary arrays
+    (:class:`~repro.kernel.batch.CascadeBatchSummary`) instead of
+    materialised event lists. On the bit-identical ``python`` backend the
+    per-trial counts and (with ``record_states=True``) final states match
+    ``simulate_many`` exactly; the ``numpy`` backend sweeps all trials as
+    ``(T, n)`` matrices and is statistically identical.
+
+    The fast path engages when the model is kernel-batchable and no trial
+    cache is configured (the cache stores individual
+    ``DiffusionResult``s, which a summary-only run never materialises);
+    otherwise this falls back to :func:`simulate_many` plus a summarising
+    pass, so callers can use it unconditionally. ``runtime.workers > 1``
+    fans chunks of trials out over the process pool either way.
+    """
+    runtime = runtime or SERIAL
+    rec = resolve_recorder(recorder)
+    with rec.span("mc.simulate_batch", model=model.name, trials=trials):
+        rec.incr("mc.batch.trials", trials)
+        reason = None
+        if not _batchable(model):
+            reason = "model"
+        elif runtime.cache_dir is not None:
+            reason = "cache"
+        if reason is not None:
+            rec.incr("mc.batch.fallback")
+            rec.incr(f"mc.batch.fallback.{reason}")
+            results = simulate_many(
+                model, diffusion, seeds, trials, base_seed, runtime, rec
+            )
+            return _summarise_results(results, diffusion, seeds, record_states)
+        rec.incr("mc.batch.fastpath")
+        compiled = compile_graph(diffusion)
+        validated = check_seeds_compiled(compiled, seeds)
+        if runtime.parallel and trials > 1:
+            size = runtime.resolve_chunk_size(trials)
+            specs = [
+                (start, min(start + size, trials)) for start in range(0, trials, size)
+            ]
+            outcome = run_trials(
+                _batch_chunk,
+                (model, compiled, validated, base_seed, record_states),
+                specs,
+                config=runtime,
+                label=f"simulate_batch:{model.name}",
+                recorder=rec,
+            )
+            return CascadeBatchSummary.concat(outcome.results)
+        trial_seeds = [
+            derive_seed(base_seed, model.name, trial) for trial in range(trials)
+        ]
+        return _run_batch_kernel(
+            model, compiled, validated, trial_seeds, record_states, recorder=rec
+        )
+
+
+def _spread_from_summary(summary: CascadeBatchSummary) -> SpreadEstimate:
+    """Batch-path aggregation; float-identical to the legacy result walk.
+
+    Builds the same per-trial float lists the legacy path feeds to
+    ``mean``/``pstdev`` — sizes for every trial, state fractions over
+    non-empty cascades only — so on the bit-identical backend the two
+    paths return equal :class:`SpreadEstimate` values (pinned by
+    ``tests/unit/test_mc_batch.py``). Flip counts come straight from the
+    kernel counters, never from event traces.
+    """
+    sizes = [float(count) for count in summary.infected]
+    positive_fractions = []
+    negative_fractions = []
+    for positives, negatives in zip(summary.positive, summary.negative):
+        infected = positives + negatives
+        if infected:
+            positive_fractions.append(positives / infected)
+            negative_fractions.append(negatives / infected)
+    return SpreadEstimate(
+        mean_infected=mean(sizes),
+        std_infected=pstdev(sizes) if len(sizes) > 1 else 0.0,
+        mean_positive_fraction=mean(positive_fractions) if positive_fractions else 0.0,
+        mean_negative_fraction=mean(negative_fractions) if negative_fractions else 0.0,
+        mean_flips=mean(float(count) for count in summary.flips),
+        mean_rounds=mean(float(count) for count in summary.rounds),
+        trials=summary.trials,
+    )
+
+
 def estimate_spread(
     model: DiffusionModel,
     diffusion: SignedDiGraph,
@@ -167,9 +382,20 @@ def estimate_spread(
     Convention: ``mean_positive_fraction`` averages over non-empty
     cascades only (see :class:`SpreadEstimate`); ``trials`` still counts
     every simulation.
+
+    Kernel-batchable models with no trial cache configured run through
+    :func:`simulate_batch` — per-trial counters straight from the kernel,
+    no event materialisation — with identical estimates on the
+    bit-identical backend; other configurations keep the legacy
+    per-result walk.
     """
     rec = resolve_recorder(recorder)
     with rec.span("mc.estimate_spread", model=model.name, trials=trials):
+        if _batchable(model) and (runtime is None or runtime.cache_dir is None):
+            summary = simulate_batch(
+                model, diffusion, seeds, trials, base_seed, runtime, rec
+            )
+            return _spread_from_summary(summary)
         results = simulate_many(
             model, diffusion, seeds, trials, base_seed, runtime, rec
         )

@@ -43,6 +43,10 @@ class KEffectorsDetector(Detector):
             component (highest out-degree first) to bound the cubic
             cost; None = all infected nodes.
         seed: base seed for the Monte-Carlo streams.
+        runtime: optional :class:`~repro.runtime.config.RuntimeConfig`
+            forwarded to the batched Monte-Carlo facade — candidate
+            evaluations fan their trials over the process pool when
+            ``workers > 1``.
     """
 
     name = "k-effectors"
@@ -54,6 +58,7 @@ class KEffectorsDetector(Detector):
         candidate_limit: Optional[int] = 30,
         seed: int = 0,
         k_per_component: Optional[int] = None,
+        runtime=None,
     ) -> None:
         if k_per_component is not None:
             warnings.warn(
@@ -73,6 +78,7 @@ class KEffectorsDetector(Detector):
         self.trials = trials
         self.candidate_limit = candidate_limit
         self.seed = seed
+        self.runtime = runtime
         self._ic = ICModel(propagate_signs=False)
 
     @property
@@ -85,17 +91,29 @@ class KEffectorsDetector(Detector):
     def activation_probabilities(
         self, component: SignedDiGraph, effectors: Set[Node], stream: int
     ) -> Dict[Node, float]:
-        """Monte-Carlo estimate of P(v active | effectors) under IC."""
-        counts: Dict[Node, int] = {node: 0 for node in component.nodes()}
+        """Monte-Carlo estimate of P(v active | effectors) under IC.
+
+        All trials run through one
+        :func:`~repro.diffusion.monte_carlo.simulate_batch` call, so the
+        estimate inherits the batched kernel path, worker fan-out and
+        caching semantics of the shared facade.
+        """
+        from repro.diffusion.monte_carlo import simulate_batch
+
         seeds = {node: NodeState.POSITIVE for node in effectors}
-        for trial in range(self.trials):
-            result = self._ic.run(
-                component, seeds, rng=derive_seed(self.seed, "effectors", stream, trial)
-            )
-            for node, state in result.final_states.items():
-                if state.is_active:
-                    counts[node] += 1
-        return {node: count / self.trials for node, count in counts.items()}
+        summary = simulate_batch(
+            self._ic,
+            component,
+            seeds,
+            self.trials,
+            base_seed=derive_seed(self.seed, "effectors", stream),
+            runtime=self.runtime,
+            record_states=True,
+        )
+        counts = summary.active_counts()
+        return {
+            node: counts.get(node, 0) / self.trials for node in component.nodes()
+        }
 
     def cost(
         self, component: SignedDiGraph, effectors: Set[Node], stream: int

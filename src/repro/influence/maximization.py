@@ -24,17 +24,30 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.diffusion.base import DiffusionModel, DiffusionResult
 from repro.errors import InvalidSeedError
 from repro.graphs.signed_digraph import SignedDiGraph
+from repro.runtime.config import RuntimeConfig
 from repro.types import Node, NodeState
 from repro.utils.rng import derive_seed
 
 #: An objective maps one simulated cascade to a score; Monte-Carlo
-#: averaging happens in the maximiser.
+#: averaging happens in the maximiser. Objectives may additionally carry
+#: a ``from_summary`` attribute mapping a
+#: :class:`~repro.kernel.batch.CascadeBatchSummary` to the per-trial
+#: score list — estimations then run through the batched kernel path
+#: with no event materialisation; objectives without it (anything
+#: needing event logs or activation links) keep the per-result loop.
 InfluenceObjective = Callable[[DiffusionResult], float]
 
 
 def spread_objective(result: DiffusionResult) -> float:
     """Expected-spread objective: the final infected count."""
     return float(result.num_infected())
+
+
+def _spread_from_summary(summary) -> List[float]:
+    return [float(count) for count in summary.infected]
+
+
+spread_objective.from_summary = _spread_from_summary
 
 
 def margin_objective(result: DiffusionResult) -> float:
@@ -46,6 +59,16 @@ def margin_objective(result: DiffusionResult) -> float:
         elif state is NodeState.NEGATIVE:
             negative += 1
     return float(positive - negative)
+
+
+def _margin_from_summary(summary) -> List[float]:
+    return [
+        float(positive - negative)
+        for positive, negative in zip(summary.positive, summary.negative)
+    ]
+
+
+margin_objective.from_summary = _margin_from_summary
 
 
 @dataclass
@@ -70,8 +93,22 @@ def _estimate(
     objective: InfluenceObjective,
     trials: int,
     base_seed: int,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> float:
     assignment = {node: NodeState.POSITIVE for node in seeds}
+    from_summary = getattr(objective, "from_summary", None)
+    if from_summary is not None:
+        from repro.diffusion.monte_carlo import simulate_batch
+
+        summary = simulate_batch(
+            model,
+            diffusion,
+            assignment,
+            trials,
+            base_seed=derive_seed(base_seed, "im"),
+            runtime=runtime,
+        )
+        return sum(from_summary(summary)) / trials
     total = 0.0
     for trial in range(trials):
         result = model.run(
@@ -89,6 +126,7 @@ def greedy_influence_maximization(
     trials: int = 10,
     candidates: Optional[Sequence[Node]] = None,
     base_seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> InfluenceMaximizationResult:
     """CELF-accelerated greedy seed selection.
 
@@ -105,6 +143,8 @@ def greedy_influence_maximization(
         trials: Monte-Carlo samples per estimation.
         candidates: eligible seed nodes (default: all).
         base_seed: RNG stream root.
+        runtime: optional worker/cache configuration forwarded to the
+            batched Monte-Carlo facade for each estimation.
 
     Raises:
         InvalidSeedError: if the budget exceeds the candidate pool.
@@ -122,7 +162,9 @@ def greedy_influence_maximization(
     # Heap of (-gain, staleness_round, insertion_index, node).
     heap: List[Tuple[float, int, int, Node]] = []
     for index, node in enumerate(pool):
-        value = _estimate(model, diffusion, [node], objective, trials, base_seed)
+        value = _estimate(
+            model, diffusion, [node], objective, trials, base_seed, runtime
+        )
         result.evaluations += 1
         heapq.heappush(heap, (-value, 0, index, node))
 
@@ -144,6 +186,7 @@ def greedy_influence_maximization(
                 objective,
                 trials,
                 base_seed,
+                runtime,
             )
             result.evaluations += 1
             gain = value - current_value

@@ -53,6 +53,11 @@ from repro.kernel.cascade import (
     run_ic_compiled,
     run_mfc_compiled,
 )
+from repro.kernel.batch import (
+    CascadeBatchSummary,
+    run_ic_batch,
+    run_mfc_batch,
+)
 from repro.kernel.tree_dp import (
     CompiledBinaryTree,
     TreeDPKernel,
@@ -67,6 +72,9 @@ __all__ = [
     "check_seeds_compiled",
     "run_ic_compiled",
     "run_mfc_compiled",
+    "CascadeBatchSummary",
+    "run_ic_batch",
+    "run_mfc_batch",
     "CompiledBinaryTree",
     "TreeDPKernel",
     "compile_binary_tree",

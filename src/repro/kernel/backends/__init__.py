@@ -22,6 +22,14 @@ package makes it a selectable one:
   back to ``python`` with a one-time warning (and a
   ``kernel.backend.fallback`` counter when observability is on).
 
+Both backends also implement the **batched-trial** protocol
+(``mfc_batch`` / ``ic_batch``): T cascades in one call, returning
+compact per-trial summaries (:class:`repro.kernel.batch.
+CascadeBatchSummary`). The python tier loops per trial and is
+bit-identical to ``simulate_many``; the numpy tier sweeps all trials as
+``(T, n)`` matrices and joins the statistical tier. See
+``docs/algorithms.md`` §13.
+
 Selection order: an explicit ``backend=`` argument wins, else the
 ``REPRO_KERNEL_BACKEND`` environment variable, else ``python``. The
 value ``auto`` picks ``numpy`` when available. Cache keys split by
@@ -61,10 +69,13 @@ class PythonBackend:
     def __init__(self) -> None:
         # Bound lazily so importing this package never drags the kernel
         # modules in (they import us back at module bottom).
+        from repro.kernel import batch as _batch
         from repro.kernel import cascade as _cascade
 
         self._mfc = _cascade._mfc_cascade
         self._ic = _cascade._ic_cascade
+        self._mfc_batch = _batch.python_mfc_batch
+        self._ic_batch = _batch.python_ic_batch
 
     def mfc_cascade(
         self,
@@ -84,6 +95,38 @@ class PythonBackend:
     def ic_cascade(self, compiled, validated, random, propagate_signs, record_events=True):
         """One IC cascade; returns ``(result, per-slot attempt flags)``."""
         return self._ic(compiled, validated, random, propagate_signs, record_events)
+
+    def mfc_batch(
+        self,
+        compiled,
+        validated,
+        trial_seeds,
+        namespace,
+        alpha,
+        allow_flips,
+        max_rounds,
+        record_states=False,
+    ):
+        """T MFC cascades, one reference loop per trial (bit-identical)."""
+        return self._mfc_batch(
+            compiled,
+            validated,
+            trial_seeds,
+            namespace,
+            alpha,
+            allow_flips,
+            max_rounds,
+            record_states,
+        )
+
+    def ic_batch(
+        self, compiled, validated, trial_seeds, namespace, propagate_signs,
+        record_states=False,
+    ):
+        """T IC cascades, one reference loop per trial (bit-identical)."""
+        return self._ic_batch(
+            compiled, validated, trial_seeds, namespace, propagate_signs, record_states
+        )
 
     def tree_sweep(self, kernel, cap: int) -> None:
         """Fill ``kernel``'s DP tables with the interpreted sweep."""
@@ -120,6 +163,38 @@ class NumpyBackend:
         """One frontier-batched IC cascade; returns ``(result, attempts)``."""
         return self._impl.ic_cascade(
             compiled, validated, random, propagate_signs, record_events
+        )
+
+    def mfc_batch(
+        self,
+        compiled,
+        validated,
+        trial_seeds,
+        namespace,
+        alpha,
+        allow_flips,
+        max_rounds,
+        record_states=False,
+    ):
+        """T MFC cascades as one ``(T, n)`` matrix sweep (statistical tier)."""
+        return self._impl.mfc_batch(
+            compiled,
+            validated,
+            trial_seeds,
+            namespace,
+            alpha,
+            allow_flips,
+            max_rounds,
+            record_states,
+        )
+
+    def ic_batch(
+        self, compiled, validated, trial_seeds, namespace, propagate_signs,
+        record_states=False,
+    ):
+        """T IC cascades as one ``(T, n)`` matrix sweep (statistical tier)."""
+        return self._impl.ic_batch(
+            compiled, validated, trial_seeds, namespace, propagate_signs, record_states
         )
 
     def tree_sweep(self, kernel, cap: int) -> None:

@@ -111,10 +111,17 @@ def _ensure_arrays(compiled: CompiledGraph) -> dict:
 
 
 def _scratch(cache: dict, name: str, size: int, dtype) -> np.ndarray:
-    """A length-``size`` view of the named reusable work buffer."""
+    """A length-``size`` view of the named reusable work buffer.
+
+    Reallocates on a dtype change as well as on growth: the batched tier
+    runs its conflict resolution over int64 flattened keys while the
+    single-cascade path may use int32 positions on the same graph, and a
+    stale-dtype buffer would make ``out=`` kernels miscast.
+    """
     pool = cache.setdefault("scratch", {})
     buf = pool.get(name)
-    if buf is None or buf.size < size:
+    dtype = np.dtype(dtype)
+    if buf is None or buf.size < size or buf.dtype != dtype:
         buf = np.empty(max(size, 1024), dtype)
         pool[name] = buf
     return buf[:size]
@@ -505,6 +512,293 @@ def ic_cascade(
     if not record_events:
         return _finalise_arrays(compiled, validated, states, rounds), attempts
     return _materialise_arrays(compiled, validated, events, log, rounds), attempts
+
+
+# ---------------------------------------------------------------------------
+# Batched multi-trial cascades
+# ---------------------------------------------------------------------------
+#
+# All T trials advance together as a (T, n) uint8 state matrix plus a
+# *sparse* frontier: parallel (trial, node) index arrays kept sorted in
+# row-major (trial, then node ascending) order. Winners come out of the
+# conflict resolution as unique (trial, target) pairs, so the next
+# round's frontier IS the winner list — one O(W log W) key sort restores
+# row-major order (which fixes the candidate visit order and therefore
+# the deterministic winner choice the p=1 invariants pin), where W is
+# the live frontier size. A dense (T, n) frontier matrix was measured
+# first and loses exactly where batching should win — long-tailed
+# near-critical cascades with small frontiers — because every round
+# pays O(T·n) to scan/clear the matrix regardless of how little is
+# alive.
+#
+# Each global round expands the frontier pairs into one candidate
+# array — CSR slot runs exactly as the single-cascade path does, with
+# the trial id repeated alongside — and then reuses the single-cascade
+# round machinery verbatim on *flattened* keys: the conflict-resolution
+# scatter-min runs over `trial * n + target`, the one-attempt-per-pair
+# flags over `trial * m + slot` (int64 keys throughout, so the products
+# never overflow the itype). One RNG draw block per round covers every
+# trial's attempts, which is the whole point: the per-round dispatch
+# overhead (mask setup, take / compress staging, RNG slicing) is paid
+# once per round instead of once per round *per trial*. Trials that
+# quiesce (or hit max_rounds) simply stop contributing candidates.
+#
+# RNG derivation: the per-trial integer seeds (derive_seed(base, name,
+# t), computed by the caller) are folded into one SeedSequence, so the
+# batch is deterministic given (base_seed, trial count) — but, like the
+# single-cascade numpy path, under a different stream than the
+# reference: this tier is statistical, and per-trial results also
+# differ from T single numpy cascades. Round semantics match the
+# reference per trial: a trial's round counter increments exactly when
+# its frontier enters a round non-empty and below max_rounds — including
+# a final all-failure round.
+
+
+def _seed_batch(
+    compiled: CompiledGraph, validated: Dict[Node, NodeState], trials: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(T, n) state matrix plus the sparse seed frontier, row-major.
+
+    Returns ``(states, f_tr, f_un)``: every trial seeded alike, the
+    frontier as parallel (trial, node) arrays sorted by trial then node
+    index — ``tile``/``repeat`` over the ascending seed positions yields
+    that order directly.
+    """
+    n = compiled.num_nodes
+    index = compiled.index
+    seeded = sorted(
+        (index[node], 1 if int(state) > 0 else 2) for node, state in validated.items()
+    )
+    idx = np.fromiter((i for i, _ in seeded), dtype=np.int64, count=len(seeded))
+    vals = np.fromiter((s for _, s in seeded), dtype=np.uint8, count=len(seeded))
+    states = np.zeros((trials, n), dtype=np.uint8)
+    states[:, idx] = vals
+    f_tr = np.repeat(np.arange(trials, dtype=np.int64), idx.size)
+    f_un = np.tile(idx, trials)
+    return states, f_tr, f_un
+
+
+def _batch_rng(trial_seeds) -> np.random.Generator:
+    """One SFC64 stream for the whole batch, derived from the trial seeds."""
+    entropy = [int(seed) & 0xFFFFFFFFFFFFFFFF for seed in trial_seeds]
+    return np.random.Generator(np.random.SFC64(np.random.SeedSequence(entropy or [0])))
+
+
+def _batch_summary(
+    compiled: CompiledGraph,
+    validated: Dict[Node, NodeState],
+    states: np.ndarray,
+    flips: np.ndarray,
+    rounds: np.ndarray,
+    attempts: int,
+    record_states: bool,
+):
+    """Count the final state mix per trial and box it as a batch summary."""
+    from repro.kernel.batch import CascadeBatchSummary
+
+    positive = (states == 1).sum(axis=1)
+    negative = (states == 2).sum(axis=1)
+    return CascadeBatchSummary(
+        nodes=compiled.nodes,
+        index=compiled.index,
+        seeds=dict(validated),
+        trials=states.shape[0],
+        infected=(positive + negative).tolist(),
+        positive=positive.tolist(),
+        negative=negative.tolist(),
+        flips=flips.tolist(),
+        rounds=rounds.tolist(),
+        attempts=int(attempts),
+        states=states if record_states else None,
+    )
+
+
+def mfc_batch(
+    compiled: CompiledGraph,
+    validated: Dict[Node, NodeState],
+    trial_seeds,
+    namespace: str,
+    alpha: float,
+    allow_flips: bool,
+    max_rounds: int,
+    record_states: bool = False,
+):
+    """T MFC cascades as one ``(T, n)`` matrix sweep (statistical tier)."""
+    arrays = _ensure_arrays(compiled)
+    indptr, targets, signs = arrays["indptr"], arrays["targets"], arrays["signs"]
+    probs = _probabilities(compiled, alpha)
+    rng = _batch_rng(trial_seeds)
+    T = len(trial_seeds)
+    n = compiled.num_nodes
+    m = compiled.num_edges
+
+    states, f_tr, f_un = _seed_batch(compiled, validated, T)
+    flat_states = states.reshape(-1)
+    # Per-(trial, slot) one-attempt flags, flat. O(T * m) bools — the
+    # batch tier's only superlinear buffer; allocated upfront (like the
+    # single-cascade `untried`) because a flip in round r can re-queue a
+    # source whose slots were attempted in any earlier round.
+    untried = np.ones(T * m, dtype=bool) if allow_flips else None
+    first = np.full(T * n, _no_success(np.int64), dtype=np.int64)
+    rounds = np.zeros(T, dtype=np.int64)
+    flips = np.zeros(T, dtype=np.int64)
+    attempts = 0
+    may_retry = False  # True once any flip has re-queued a seen source
+
+    while f_tr.size:
+        live = rounds[f_tr] < max_rounds
+        if not live.all():  # retire capped trials
+            f_tr, f_un = f_tr[live], f_un[live]
+            if not f_tr.size:
+                break
+        present = np.zeros(T, dtype=bool)
+        present[f_tr] = True
+        rounds[present] += 1
+        tr, un = f_tr, f_un  # row-major: by trial, then node asc
+        starts = indptr[un]
+        counts = indptr[un + 1] - starts
+        nzm = counts > 0
+        if not nzm.all():  # zero-degree rows contribute no slots
+            tr, un = tr[nzm], un[nzm]
+            starts, counts = starts[nzm], counts[nzm]
+        if not counts.size:
+            break
+        slots = _run_ranges(starts, counts)
+        trial_of = np.repeat(tr, counts)
+        s_src = np.repeat(flat_states[tr * n + un], counts)
+        tgt = targets[slots]
+        tkey = trial_of * n + tgt
+        s_t = flat_states[tkey]
+        fresh = s_t == 0
+        if allow_flips:
+            keep = (signs[slots] & (s_src != s_t)) | fresh
+        else:
+            keep = fresh  # flips off: eligibility is freshness alone
+        if not keep.all():
+            slots = slots[keep]
+            trial_of = trial_of[keep]
+            tkey = tkey[keep]
+        if not slots.size:
+            break
+        if may_retry:
+            seen = untried[trial_of * m + slots]
+            if not seen.all():
+                slots = slots[seen]
+                trial_of = trial_of[seen]
+                tkey = tkey[seen]
+                if not slots.size:
+                    break
+        k = slots.size
+        draws = rng.random(k, dtype=np.float32)
+        succ = draws < probs[slots]
+        unatt, winner = _resolve_round(arrays, tkey, succ, first)
+        if allow_flips:
+            untried[trial_of * m + slots] = unatt
+        attempts += k - int(np.count_nonzero(unatt))
+        win = np.flatnonzero(winner)
+        if not win.size:
+            break  # no winners anywhere: every trial quiesces
+        w_slots = slots[win]
+        w_trial = trial_of[win]
+        w_tkey = tkey[win]
+        w_src = np.searchsorted(indptr, w_slots, side="right") - 1
+        s_u = flat_states[w_trial * n + w_src]
+        s_new = np.where(signs[w_slots], s_u, 3 - s_u).astype(np.uint8)
+        was_flip = flat_states[w_tkey] != 0
+        if was_flip.any():
+            flips += np.bincount(w_trial[was_flip], minlength=T)
+            if allow_flips:
+                may_retry = True
+        flat_states[w_tkey] = s_new
+        # Winners are unique per (trial, target) key, so they *are* the
+        # next frontier; sorting the keys restores row-major order.
+        order = np.argsort(w_tkey)
+        w_tkey = w_tkey[order]
+        f_tr = w_trial[order]
+        f_un = w_tkey - f_tr * n
+
+    return _batch_summary(
+        compiled, validated, states, flips, rounds, attempts, record_states
+    )
+
+
+def ic_batch(
+    compiled: CompiledGraph,
+    validated: Dict[Node, NodeState],
+    trial_seeds,
+    namespace: str,
+    propagate_signs: bool,
+    record_states: bool = False,
+):
+    """T IC cascades as one ``(T, n)`` matrix sweep (statistical tier).
+
+    Same flattened-key scheme as :func:`mfc_batch`, minus flips,
+    one-attempt flags and the round cap — IC activation is one-shot.
+    """
+    arrays = _ensure_arrays(compiled)
+    indptr, targets, signs = arrays["indptr"], arrays["targets"], arrays["signs"]
+    weights = arrays["weights"]
+    rng = _batch_rng(trial_seeds)
+    T = len(trial_seeds)
+    n = compiled.num_nodes
+
+    states, f_tr, f_un = _seed_batch(compiled, validated, T)
+    flat_states = states.reshape(-1)
+    first = np.full(T * n, _no_success(np.int64), dtype=np.int64)
+    rounds = np.zeros(T, dtype=np.int64)
+    attempts = 0
+
+    while f_tr.size:
+        present = np.zeros(T, dtype=bool)
+        present[f_tr] = True
+        rounds[present] += 1
+        tr, un = f_tr, f_un
+        starts = indptr[un]
+        counts = indptr[un + 1] - starts
+        nzm = counts > 0
+        if not nzm.all():
+            tr, un = tr[nzm], un[nzm]
+            starts, counts = starts[nzm], counts[nzm]
+        if not counts.size:
+            break
+        slots = _run_ranges(starts, counts)
+        trial_of = np.repeat(tr, counts)
+        tgt = targets[slots]
+        tkey = trial_of * n + tgt
+        keep = flat_states[tkey] == 0  # IC never re-activates
+        if not keep.all():
+            slots = slots[keep]
+            trial_of = trial_of[keep]
+            tkey = tkey[keep]
+        if not slots.size:
+            break
+        k = slots.size
+        draws = rng.random(k, dtype=np.float32)
+        succ = draws < weights[slots]
+        unatt, winner = _resolve_round(arrays, tkey, succ, first)
+        attempts += k - int(np.count_nonzero(unatt))
+        win = np.flatnonzero(winner)
+        if not win.size:
+            break
+        w_slots = slots[win]
+        w_trial = trial_of[win]
+        w_tkey = tkey[win]
+        w_src = np.searchsorted(indptr, w_slots, side="right") - 1
+        s_u = flat_states[w_trial * n + w_src]
+        if propagate_signs:
+            s_new = np.where(signs[w_slots], s_u, 3 - s_u).astype(np.uint8)
+        else:
+            s_new = s_u.astype(np.uint8)
+        flat_states[w_tkey] = s_new
+        order = np.argsort(w_tkey)
+        w_tkey = w_tkey[order]
+        f_tr = w_trial[order]
+        f_un = w_tkey - f_tr * n
+
+    flips = np.zeros(T, dtype=np.int64)
+    return _batch_summary(
+        compiled, validated, states, flips, rounds, attempts, record_states
+    )
 
 
 # ---------------------------------------------------------------------------

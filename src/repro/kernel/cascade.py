@@ -203,6 +203,114 @@ def _mfc_cascade(
     return _materialise(compiled, validated, events, log, rounds), tried
 
 
+def _mfc_cascade_summary(
+    compiled: CompiledGraph,
+    validated: Dict[Node, NodeState],
+    random: _random.Random,
+    alpha: float,
+    allow_flips: bool,
+    max_rounds: int,
+) -> Tuple[bytearray, int, int, int]:
+    """:func:`_mfc_cascade` with counters instead of an event log.
+
+    Identical control flow and **identical RNG consumption** — the only
+    difference is that successes bump scalar counters rather than append
+    to the log, so the per-trial summaries of the batched tier
+    (:mod:`repro.kernel.batch`) stay bit-identical to what a recorded
+    run would report. Returns ``(states, rounds, attempts, flips)``.
+    """
+    indptr, targets, _ = compiled.hot_rows()
+    signs = compiled.signs
+    probs = compiled.probabilities_list(alpha)
+    rand = random.random
+
+    states, frontier, _ = _plant(compiled, validated)
+    tried = bytearray(compiled.num_edges)
+    queued = bytearray(compiled.num_nodes)
+    rounds = 0
+    attempts = 0
+    flips = 0
+
+    while frontier and rounds < max_rounds:
+        rounds += 1
+        fresh: List[int] = []
+        for u in frontier:
+            s_u = states[u]
+            if s_u == 0:
+                continue
+            for slot in range(indptr[u], indptr[u + 1]):
+                if tried[slot]:
+                    continue
+                v = targets[slot]
+                s_v = states[v]
+                if s_v == 0:
+                    was_flip = False
+                elif allow_flips and signs[slot] and s_u != s_v:
+                    was_flip = True
+                else:
+                    continue
+                tried[slot] = 1
+                attempts += 1
+                if rand() < probs[slot]:
+                    states[v] = s_u if signs[slot] else 3 - s_u
+                    if was_flip:
+                        flips += 1
+                    if not queued[v]:
+                        queued[v] = 1
+                        fresh.append(v)
+        for v in fresh:
+            queued[v] = 0
+        fresh.sort()
+        frontier = fresh
+
+    return states, rounds, attempts, flips
+
+
+def _ic_cascade_summary(
+    compiled: CompiledGraph,
+    validated: Dict[Node, NodeState],
+    random: _random.Random,
+    propagate_signs: bool,
+) -> Tuple[bytearray, int, int, int]:
+    """Counter-only twin of :func:`_ic_cascade` (same RNG stream).
+
+    Returns ``(states, rounds, attempts, flips)``; IC has no flips, so
+    the last counter is always zero (kept for a uniform batch shape).
+    """
+    indptr, targets, weights = compiled.hot_rows()
+    signs = compiled.signs
+    rand = random.random
+
+    states, frontier, _ = _plant(compiled, validated)
+    tried = bytearray(compiled.num_edges)
+    rounds = 0
+    attempts = 0
+
+    while frontier:
+        rounds += 1
+        fresh: List[int] = []
+        for u in frontier:
+            s_u = states[u]
+            for slot in range(indptr[u], indptr[u + 1]):
+                if tried[slot]:
+                    continue
+                v = targets[slot]
+                if states[v]:
+                    continue  # IC never re-activates (and keeps the slot unspent)
+                tried[slot] = 1
+                attempts += 1
+                if rand() < weights[slot]:
+                    if propagate_signs and not signs[slot]:
+                        states[v] = 3 - s_u
+                    else:
+                        states[v] = s_u
+                    fresh.append(v)
+        fresh.sort()
+        frontier = fresh
+
+    return states, rounds, attempts, 0
+
+
 def _record_cascade(
     recorder: Recorder,
     prefix: str,

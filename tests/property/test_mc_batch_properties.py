@@ -1,0 +1,229 @@
+"""Batched-vs-per-trial equivalence gates for the Monte-Carlo tier.
+
+The batched numpy sweep runs all T cascades as one ``(T, n)`` matrix
+with a single RNG stream sliced across trials, so — like the
+single-cascade numpy backend (``docs/algorithms.md`` §12) — it is held
+to the *statistical* identity bar, pinned here through the same
+invariants:
+
+* under ``p = 1`` (saturated weights, ``allow_flips=False`` for MFC)
+  every per-trial count and final state is topology-determined — the
+  batched python and numpy tiers must agree exactly, trial by trial;
+* under ``p = 0`` nothing spreads: seeds only, one round of failed
+  attempts, identical attempt accounting;
+* on random-weight graphs the per-trial count distributions must agree
+  in mean within a tolerance far wider than the batch standard error.
+
+The batched *python* tier is bit-identical to ``simulate_many`` by
+construction; that stronger bar is pinned in
+``tests/unit/test_mc_batch.py`` and the bench ``--tiny`` gate.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.graphs.generators.random_graphs import (
+    signed_erdos_renyi,
+    signed_preferential_attachment,
+)
+from repro.kernel import compile_graph, run_ic_batch, run_mfc_batch
+from repro.kernel.cascade import check_seeds_compiled
+from repro.types import NodeState
+from repro.utils.rng import derive_seed
+
+
+def _seeds(graph, count=3):
+    nodes = sorted(graph.nodes(), key=repr)[:count]
+    return {
+        node: NodeState.POSITIVE if i % 2 == 0 else NodeState.NEGATIVE
+        for i, node in enumerate(nodes)
+    }
+
+
+def _trial_seeds(base_seed, namespace, trials):
+    return [derive_seed(base_seed, namespace, trial) for trial in range(trials)]
+
+
+def _saturated_graphs():
+    """Graphs whose every weight is 1.0 — the ``p = 1`` regime."""
+    yield signed_erdos_renyi(
+        50, 0.08, positive_probability=0.7, weight_range=(1.0, 1.0), rng=11
+    )
+    yield signed_erdos_renyi(
+        80, 0.04, positive_probability=0.3, weight_range=(1.0, 1.0), rng=12
+    )
+    yield signed_preferential_attachment(
+        60, out_degree=3, positive_probability=0.8, weight_range=(1.0, 1.0), rng=13
+    )
+
+
+def _dead_graphs():
+    """Graphs whose every weight is 0.0 — the ``p = 0`` regime."""
+    yield signed_erdos_renyi(
+        40, 0.10, positive_probability=0.6, weight_range=(0.0, 0.0), rng=21
+    )
+    yield signed_preferential_attachment(
+        50, out_degree=2, positive_probability=0.4, weight_range=(0.0, 0.0), rng=22
+    )
+
+
+class TestExactBatchInvariants:
+    """Deterministic regimes where both batch tiers must agree exactly."""
+
+    @pytest.mark.parametrize("graph_index", range(3))
+    def test_mfc_p1_per_trial_counts_and_states(self, graph_index):
+        graph = list(_saturated_graphs())[graph_index]
+        compiled = compile_graph(graph)
+        validated = check_seeds_compiled(compiled, _seeds(graph))
+        trial_seeds = _trial_seeds(5, "mfc", 6)
+
+        def batch(backend):
+            # allow_flips=False keeps p=1 MFC fully topology-determined
+            # (flip chains under p=1 would re-introduce order
+            # sensitivity).
+            return run_mfc_batch(
+                compiled,
+                validated,
+                trial_seeds,
+                alpha=1.0,
+                allow_flips=False,
+                max_rounds=10**9,
+                backend=backend,
+                record_states=True,
+            )
+
+        py = batch("python")
+        nx = batch("numpy")
+        assert nx.infected == py.infected
+        assert nx.positive == py.positive
+        assert nx.negative == py.negative
+        assert nx.rounds == py.rounds
+        assert nx.attempts == py.attempts
+        for trial in range(len(trial_seeds)):
+            assert nx.final_states(trial) == py.final_states(trial)
+
+    @pytest.mark.parametrize("graph_index", range(3))
+    def test_ic_p1_per_trial_counts_and_states(self, graph_index):
+        graph = list(_saturated_graphs())[graph_index]
+        compiled = compile_graph(graph)
+        validated = check_seeds_compiled(compiled, _seeds(graph))
+        trial_seeds = _trial_seeds(6, "ic", 6)
+
+        def batch(backend):
+            return run_ic_batch(
+                compiled,
+                validated,
+                trial_seeds,
+                propagate_signs=True,
+                backend=backend,
+                record_states=True,
+            )
+
+        py = batch("python")
+        nx = batch("numpy")
+        assert nx.infected == py.infected
+        assert nx.positive == py.positive
+        assert nx.rounds == py.rounds
+        assert nx.attempts == py.attempts
+        for trial in range(len(trial_seeds)):
+            assert nx.final_states(trial) == py.final_states(trial)
+
+    @pytest.mark.parametrize("graph_index", range(2))
+    def test_p0_nothing_spreads(self, graph_index):
+        graph = list(_dead_graphs())[graph_index]
+        compiled = compile_graph(graph)
+        validated = check_seeds_compiled(compiled, _seeds(graph))
+        trial_seeds = _trial_seeds(7, "mfc", 5)
+
+        def batch(backend):
+            return run_mfc_batch(
+                compiled,
+                validated,
+                trial_seeds,
+                alpha=3.0,
+                allow_flips=True,
+                max_rounds=10**9,
+                backend=backend,
+                record_states=True,
+            )
+
+        py = batch("python")
+        nx = batch("numpy")
+        seed_count = len(validated)
+        assert py.infected == [seed_count] * 5
+        assert nx.infected == [seed_count] * 5
+        assert nx.flips == py.flips == [0] * 5
+        assert nx.attempts == py.attempts
+        assert nx.rounds == py.rounds
+        for trial in range(5):
+            assert nx.final_states(trial) == validated
+            assert py.final_states(trial) == validated
+
+
+class TestBatchSpreadDistribution:
+    """Random-weight graphs: batched tiers must agree in distribution."""
+
+    @given(st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=8, deadline=None)
+    def test_mean_spread_within_tolerance(self, base_seed):
+        graph = signed_erdos_renyi(
+            120, 0.05, positive_probability=0.7, weight_range=(0.1, 0.6), rng=41
+        )
+        compiled = compile_graph(graph)
+        validated = check_seeds_compiled(compiled, _seeds(graph))
+        trial_seeds = _trial_seeds(base_seed, "mfc", 40)
+
+        def mean_spread(backend):
+            summary = run_mfc_batch(
+                compiled,
+                validated,
+                trial_seeds,
+                alpha=2.0,
+                allow_flips=True,
+                max_rounds=10**9,
+                backend=backend,
+            )
+            return sum(summary.infected) / summary.trials
+
+        mean_py = mean_spread("python")
+        mean_np = mean_spread("numpy")
+        # Means over 40 cascades on this workload have a standard error
+        # of ~1 node; 20% relative (floor 4 nodes) is many sigmas wide
+        # while still catching any systematic probability distortion.
+        assert abs(mean_py - mean_np) <= max(4.0, 0.2 * mean_py)
+
+    @given(st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=6, deadline=None)
+    def test_mean_flips_within_tolerance(self, base_seed):
+        graph = signed_erdos_renyi(
+            100, 0.06, positive_probability=0.6, weight_range=(0.2, 0.7), rng=43
+        )
+        compiled = compile_graph(graph)
+        validated = check_seeds_compiled(compiled, _seeds(graph))
+        trial_seeds = _trial_seeds(base_seed, "mfc", 40)
+
+        def means(backend):
+            summary = run_mfc_batch(
+                compiled,
+                validated,
+                trial_seeds,
+                alpha=2.5,
+                allow_flips=True,
+                max_rounds=10**9,
+                backend=backend,
+            )
+            return (
+                sum(summary.infected) / summary.trials,
+                sum(summary.flips) / summary.trials,
+            )
+
+        spread_py, flips_py = means("python")
+        spread_np, flips_np = means("numpy")
+        assert abs(spread_py - spread_np) <= max(4.0, 0.2 * spread_py)
+        # Flip counts are noisier than spread (every re-entry re-rolls);
+        # a 30% relative band with a floor of 6 still sits far outside
+        # the batch standard error on this workload.
+        assert abs(flips_py - flips_np) <= max(6.0, 0.3 * flips_py)
